@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction package.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e '.[dev]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the printed tables + CSVs for every paper figure/table
+figures: bench
+	@echo "tables  -> benchmarks/artefacts.log"
+	@echo "csv     -> benchmarks/results/"
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/cluster_placement.py
+	$(PYTHON) examples/dynamic_qos.py
+	$(PYTHON) examples/datacenter.py
+	$(PYTHON) examples/multi_tenant_node.py --fast
+	$(PYTHON) examples/burst_vs_vfreq.py
+
+clean:
+	rm -rf benchmarks/artefacts.log benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

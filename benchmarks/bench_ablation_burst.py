@@ -1,0 +1,77 @@
+"""Ablation — Burst-VM baseline vs the virtual frequency controller.
+
+Quantifies the §II criticism on a half-loaded node: one VM runs a heavy
+sustained workload while the rest of the node idles.  The burst VM
+exhausts its credits and drops to the 10 % baseline; the controller
+keeps reselling the idle neighbours' cycles, so throughput stays high.
+"""
+
+from repro.sim.engine import Simulation
+from repro.sim.report import render_table
+from repro.virt.burst import BurstPolicy, BurstVMController
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.compress7zip import Compress7Zip
+from repro.workloads.synthetic import IdleWorkload
+from tests.conftest import make_host
+
+from conftest import emit
+
+WORKER = VMTemplate("worker", vcpus=2, vfreq_mhz=1200.0)
+NEIGHBOR = VMTemplate("sleeper", vcpus=2, vfreq_mhz=1200.0)
+RUN_S = 240.0
+WORK = Compress7Zip  # heavy phased workload
+
+
+def _throughput(vm):
+    return sum(s.work_mhz_s for s in vm.workload.scores)
+
+
+def _run_burst():
+    node, hv, _ = make_host()
+    worker = hv.provision(WORKER, "worker")
+    sleeper = hv.provision(NEIGHBOR, "sleeper")
+    attach(worker, WORK(2, iterations=100, work_per_iteration_mhz_s=50_000.0))
+    attach(sleeper, IdleWorkload(2))
+    burst = BurstVMController(node.fs, BurstPolicy(initial_credits=30.0))
+    burst.watch(worker)
+    burst.watch(sleeper)
+    sim = Simulation(node, hv, dt=0.5)
+    for k in range(int(RUN_S * 2)):
+        sim.run(0.5)
+        if k % 2 == 1:
+            burst.tick({"worker": worker, "sleeper": sleeper}, dt=1.0)
+    return _throughput(worker), burst.credits_of("worker")
+
+
+def _run_controller():
+    node, hv, ctrl = make_host()
+    worker = hv.provision(WORKER, "worker")
+    sleeper = hv.provision(NEIGHBOR, "sleeper")
+    ctrl.register_vm("worker", WORKER.vfreq_mhz)
+    ctrl.register_vm("sleeper", NEIGHBOR.vfreq_mhz)
+    attach(worker, WORK(2, iterations=100, work_per_iteration_mhz_s=50_000.0))
+    attach(sleeper, IdleWorkload(2))
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(RUN_S)
+    return _throughput(worker)
+
+
+def test_burst_vs_controller_throughput(once):
+    burst_tp, credits_left, ctrl_tp = once(
+        lambda: (*_run_burst(), _run_controller())
+    )
+    emit(
+        render_table(
+            ["policy", "work done (MHz*s)", "notes"],
+            [
+                ["Burst VM (EC2-style)", f"{burst_tp:,.0f}", f"credits left: {credits_left:.0f} s"],
+                ["VF controller (paper)", f"{ctrl_tp:,.0f}", "resells idle neighbour cycles"],
+            ],
+            title="Heavy workload on a half-idle node, 240 s",
+        )
+    )
+    # The burst VM collapses to the baseline once broke; the controller
+    # keeps the worker near full speed — at least 2x the throughput.
+    assert credits_left == 0.0
+    assert ctrl_tp > 2.0 * burst_tp

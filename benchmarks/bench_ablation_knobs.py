@@ -1,0 +1,140 @@
+"""Ablation — the controller knobs the paper discusses qualitatively.
+
+§III-B2: "The higher the increase factor, the faster the convergence ...
+but also the higher the resource wastage"; "the decrease factor should
+not be too big [or] some sort of oscillation" appears.  §III-B4's window
+"is used to avoid that a rich VM steals all the cycles".
+
+This bench quantifies those trade-offs on a step workload: a VM idles,
+then jumps to full demand.  Reported per setting:
+
+* settle iterations — controller iterations from the step until the
+  vCPU's capping first covers 90 % of a core;
+* waste — cycles allocated but not consumed, summed over the run.
+"""
+
+from dataclasses import replace
+
+from repro.core.config import ControllerConfig
+from repro.sim.engine import Simulation
+from repro.sim.report import render_table
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import SineWorkload, StepWorkload
+from tests.conftest import make_host
+
+from conftest import emit
+
+VM = VMTemplate("stepper", vcpus=1, vfreq_mhz=2300.0)
+STEP_AT = 20.0
+
+
+def _run_step(config):
+    node, hv, ctrl = make_host(config=config)
+    vm = hv.provision(VM, "vm")
+    ctrl.register_vm(vm.name, VM.vfreq_mhz)
+    attach(vm, StepWorkload(1, times=[STEP_AT], levels=[0.02, 1.0]))
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(80.0)
+    path = vm.vcpus[0].cgroup_path
+
+    settle = None
+    waste = 0.0
+    for report in ctrl.reports:
+        alloc = report.allocations.get(path, 0.0)
+        used = report.samples[0].consumed_cycles if report.samples else 0.0
+        waste += max(0.0, alloc - used)
+        if settle is None and report.t > STEP_AT and alloc >= 0.9e6:
+            settle = report.t - STEP_AT
+    return settle, waste / 1e6
+
+
+def _run_sine(config):
+    """Oscillation metric: std of the applied capping under a smooth load."""
+    node, hv, ctrl = make_host(config=config)
+    vm = hv.provision(VM, "vm")
+    ctrl.register_vm(vm.name, VM.vfreq_mhz)
+    attach(vm, SineWorkload(1, mean=0.5, amplitude=0.3, period=60.0))
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(120.0)
+    path = vm.vcpus[0].cgroup_path
+    allocs = [r.allocations.get(path, 0.0) for r in ctrl.reports[10:]]
+    import numpy as np
+
+    return float(np.std(np.diff(allocs))) / 1e6
+
+
+def _sweep():
+    base = ControllerConfig.paper_evaluation()
+    increase_rows = []
+    for mult in (1.2, 1.5, 2.0, 4.0):
+        settle, waste = _run_step(replace(base, increase_mult=mult))
+        increase_rows.append([f"x{mult}", f"{settle:.0f} it" if settle else "never", f"{waste:.2f}"])
+    decrease_rows = []
+    for mult in (0.5, 0.8, 0.95):
+        wobble = _run_sine(replace(base, decrease_mult=mult))
+        decrease_rows.append([f"x{mult}", f"{wobble:.3f}"])
+    return increase_rows, decrease_rows
+
+
+def test_increase_and_decrease_factors(once):
+    increase_rows, decrease_rows = once(_sweep)
+    emit(
+        render_table(
+            ["increase factor", "settle time", "wasted core-seconds"],
+            increase_rows,
+            title="Ablation: increase factor (fast convergence vs waste)",
+        )
+    )
+    emit(
+        render_table(
+            ["decrease factor", "capping wobble (cores/it)"],
+            decrease_rows,
+            title="Ablation: decrease factor (oscillation)",
+        )
+    )
+    # faster increase factor converges at least as fast
+    settle_slow = float(increase_rows[0][1].split()[0])
+    settle_fast = float(increase_rows[-1][1].split()[0])
+    assert settle_fast <= settle_slow
+    # aggressive decrease wobbles at least as much as the paper's gentle 0.95
+    wobble_aggressive = float(decrease_rows[0][1])
+    wobble_gentle = float(decrease_rows[-1][1])
+    assert wobble_gentle <= wobble_aggressive + 1e-6
+
+
+def _window_fairness(window_frac):
+    """Two greedy VMs, one with far more credits: how evenly does a round
+    of auctions split a scarce market?"""
+    from repro.core.auction import run_auction
+    from repro.core.credits import CreditLedger
+
+    ledger = CreditLedger(ControllerConfig.paper_evaluation())
+    ledger.accrue("rich", [0.0], 5_000_000)
+    ledger.accrue("poor", [0.0], 400_000)
+    out = run_auction(
+        market=800_000.0,
+        demands={"/rich": 800_000.0, "/poor": 800_000.0},
+        vm_of={"/rich": "rich", "/poor": "poor"},
+        ledger=ledger,
+        window=window_frac * 1e6,
+    )
+    rich = out.purchased.get("/rich", 0.0)
+    poor = out.purchased.get("/poor", 0.0)
+    return poor / (rich + poor)
+
+
+def test_auction_window(once):
+    fractions = (1.0, 0.1, 0.01)
+    shares = once(lambda: [_window_fairness(f) for f in fractions])
+    emit(
+        render_table(
+            ["window (frac of a core)", "poor VM's share of the market"],
+            [[str(f), f"{s:.2f}"] for f, s in zip(fractions, shares)],
+            title="Ablation: auction window (anti rich-VM-steals-all)",
+        )
+    )
+    # a whole-core window lets the rich VM take everything; small windows
+    # let the poor VM spend its full wallet
+    assert shares[0] < 0.05
+    assert shares[-1] > 0.4

@@ -1,0 +1,119 @@
+"""Baseline — VMDFS-style predictive shares vs the paper's controller.
+
+§II: "their proposed approach does not deliver differentiated
+frequencies to the hosted VMs, assuming they share the same priority".
+Staged on a contended chetemi hosting the paper's small/large mix: the
+predictive share controller converges every saturated vCPU to the same
+speed, while the virtual frequency controller splits them 500 / 1800 as
+purchased.
+"""
+
+from repro.hw.nodespecs import CHETEMI
+from repro.sim.engine import Simulation
+from repro.sim.report import render_table
+from repro.virt.template import LARGE, SMALL
+from repro.virt.vmdfs import VmdfsController
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload
+from repro.hw.node import Node
+from repro.virt.hypervisor import Hypervisor
+from repro.core.controller import VirtualFrequencyController
+
+from conftest import emit
+
+RUN_S = 120.0
+
+
+def _provision(node, hv):
+    vms = {}
+    for k in range(20):
+        vm = hv.provision(SMALL, f"small-{k}")
+        attach(vm, ConstantWorkload(2, level=1.0))
+        vms[vm.name] = vm
+    for k in range(10):
+        vm = hv.provision(LARGE, f"large-{k}")
+        attach(vm, ConstantWorkload(4, level=1.0))
+        vms[vm.name] = vm
+    return vms
+
+
+def _mean_mhz(node, vms, prefix):
+    vals = []
+    for name, vm in vms.items():
+        if not name.startswith(prefix):
+            continue
+        for vcpu in vm.vcpus:
+            share = vcpu.entity.allocated / 0.5
+            core = node.last_core_of(vcpu.tid)
+            vals.append(share * node.core_frequency_mhz(core))
+    return sum(vals) / len(vals)
+
+
+def _run_vmdfs():
+    node = Node(CHETEMI, seed=2)
+    hv = Hypervisor(node)
+    vms = _provision(node, hv)
+    vmdfs = VmdfsController(node.fs)
+    for vm in vms.values():
+        vmdfs.watch(vm)
+    sim = Simulation(node, hv, dt=0.5)
+    for k in range(int(RUN_S * 2)):
+        sim.run(0.5)
+        if k % 2 == 1:
+            vmdfs.tick(vms, dt=1.0)
+    return node, vms
+
+
+def _run_vfreq():
+    node = Node(CHETEMI, seed=2)
+    hv = Hypervisor(node)
+    vms = _provision(node, hv)
+    ctrl = VirtualFrequencyController(
+        node.fs, node.procfs, node.sysfs,
+        num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+    )
+    for vm in vms.values():
+        ctrl.register_vm(vm.name, vm.template.vfreq_mhz)
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(RUN_S)
+    return node, vms
+
+
+def test_vmdfs_cannot_differentiate(once):
+    (node_v, vms_v), (node_c, vms_c) = once(lambda: (_run_vmdfs(), _run_vfreq()))
+
+    rows = [
+        [
+            "VMDFS-style shares",
+            f"{_mean_mhz(node_v, vms_v, 'small'):.0f}",
+            f"{_mean_mhz(node_v, vms_v, 'large'):.0f}",
+        ],
+        [
+            "VF controller (paper)",
+            f"{_mean_mhz(node_c, vms_c, 'small'):.0f}",
+            f"{_mean_mhz(node_c, vms_c, 'large'):.0f}",
+        ],
+        ["(purchased)", "500", "1800"],
+    ]
+    emit(
+        render_table(
+            ["policy", "small vCPU MHz", "large vCPU MHz"],
+            rows,
+            title="Differentiated frequencies: 20 small + 10 large, contended chetemi",
+        )
+    )
+
+    # VMDFS: the split is driven by observed usage, i.e. it reproduces
+    # the stock CFS outcome (small vCPUs ~2x large) and is completely
+    # insensitive to what the owners purchased — large VMs stay far
+    # below their 1800 MHz, small far above their 500 MHz.
+    v_small = _mean_mhz(node_v, vms_v, "small")
+    v_large = _mean_mhz(node_v, vms_v, "large")
+    assert v_large < 0.55 * 1800.0
+    assert v_small > 2.0 * 500.0
+
+    # The paper's controller separates them as purchased
+    c_small = _mean_mhz(node_c, vms_c, "small")
+    c_large = _mean_mhz(node_c, vms_c, "large")
+    assert abs(c_small - 500.0) / 500.0 < 0.2
+    assert abs(c_large - 1800.0) / 1800.0 < 0.2

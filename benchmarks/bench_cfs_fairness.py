@@ -1,0 +1,74 @@
+"""§IV-A2's side experiments a) and b) — how CFS divides CPU time.
+
+a) 20 VMs x 4 vCPUs on 40 CPUs: all vCPUs run at the same speed.
+b) 40 VMs x 1 vCPU + 10 VMs x 4 vCPUs: 4/5 of the CPU time goes to the
+   single-vCPU VMs — "the Linux CFS scheduler assumes the VMs as a
+   whole, and not directly the vCPUs".
+"""
+
+import numpy as np
+
+from repro.sim.report import render_table
+from tests.conftest import make_host, TINY
+from repro.hw.nodespecs import CHETEMI
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.sched.cfs import CfsScheduler
+from repro.sched.entity import SchedEntity
+
+from conftest import emit
+
+
+def _build(shapes, num_cpus):
+    fs = CgroupFS(CgroupVersion.V2)
+    fs.makedirs("/machine.slice")
+    entities = []
+    for i, vcpus in enumerate(shapes):
+        for j in range(vcpus):
+            path = f"/machine.slice/vm{i}/vcpu{j}"
+            fs.makedirs(path)
+            entities.append(SchedEntity(tid=1000 + 100 * i + j, cgroup_path=path, demand=1.0))
+    return fs, entities
+
+
+def _experiment_a():
+    fs, entities = _build([4] * 20, 40)
+    CfsScheduler(fs, 40).schedule(entities, dt=1.0)
+    allocs = np.array([e.allocated for e in entities])
+    return allocs
+
+
+def _experiment_b():
+    shapes = [1] * 40 + [4] * 10
+    fs, entities = _build(shapes, 40)
+    CfsScheduler(fs, 40).schedule(entities, dt=1.0)
+    single = sum(e.allocated for e in entities[:40])
+    total = sum(e.allocated for e in entities)
+    return single, total
+
+
+def test_experiment_a_equal_speed(benchmark):
+    allocs = benchmark(_experiment_a)
+    emit(
+        render_table(
+            ["metric", "value"],
+            [
+                ["vCPU allocation mean", f"{allocs.mean():.3f} core"],
+                ["vCPU allocation spread", f"{allocs.std():.2e}"],
+            ],
+            title="Experiment a): 20 VMs x 4 vCPUs — all equal",
+        )
+    )
+    assert np.allclose(allocs, allocs[0])
+
+
+def test_experiment_b_vm_level_fairness(benchmark):
+    single, total = benchmark(_experiment_b)
+    share = single / total
+    emit(
+        render_table(
+            ["metric", "value", "paper"],
+            [["1-vCPU VMs' share of CPU time", f"{share:.3f}", "4/5"]],
+            title="Experiment b): 40x1 vCPU + 10x4 vCPU VMs",
+        )
+    )
+    assert abs(share - 0.8) < 0.01

@@ -1,0 +1,62 @@
+"""Figs. 6 & 7 — average vCPU frequency on *chetemi*, configurations A/B.
+
+Protocol (Table II): 20 small (2 vCPU @ 500 MHz) + 10 large (4 vCPU @
+1800 MHz), compress-7zip everywhere, large instances start at t = 200 s.
+
+Paper shapes to reproduce:
+* A (Fig. 6): small ~2400 MHz alone, then *faster than large* under
+  contention (CFS splits per VM); large never near 1800.
+* B (Fig. 7): small plateau ~500 MHz, large plateau ~1800 MHz, small
+  spikes when large dip; core-frequency variance stays tens of MHz.
+"""
+
+import numpy as np
+
+from repro.sim.export import series_to_csv
+from repro.sim.report import render_table, series_to_rows
+from repro.sim.scenario import eval1_chetemi
+
+from conftest import emit, results_path
+
+DURATION = 600.0
+
+
+def _run():
+    scenario = eval1_chetemi(duration=DURATION, dt=0.5)
+    return scenario.run(controlled=False), scenario.run(controlled=True)
+
+
+def test_fig06_fig07(once):
+    res_a, res_b = once(_run)
+
+    for res, fig, csv_name in (
+        (res_a, "Fig. 6 (config A)", "fig06_chetemi_A.csv"),
+        (res_b, "Fig. 7 (config B)", "fig07_chetemi_B.csv"),
+    ):
+        series = {
+            "small MHz": res.group_freq_series("small"),
+            "large MHz": res.group_freq_series("large"),
+        }
+        headers, rows = series_to_rows(series, step_s=50.0, t_max=DURATION)
+        emit(render_table(headers, rows, title=f"{fig} — avg vCPU frequency, chetemi"))
+        emit(f"  mean cross-core frequency std: {res.mean_core_freq_std_mhz:.1f} MHz")
+        series_to_csv(results_path(csv_name), series)
+
+    # -- paper-shape assertions (same bands as the paper's narrative) -----
+    a_small = res_a.plateau_mhz("small", 300, DURATION)
+    a_large = res_a.plateau_mhz("large", 300, DURATION)
+    b_small = res_b.plateau_mhz("small", 300, DURATION)
+    b_large = res_b.plateau_mhz("large", 300, DURATION)
+    emit(
+        render_table(
+            ["config", "small plateau (paper)", "large plateau (paper)"],
+            [
+                ["A", f"{a_small:.0f} (~1600)", f"{a_large:.0f} (~800)"],
+                ["B", f"{b_small:.0f} (~500)", f"{b_large:.0f} (~1800)"],
+            ],
+            title="Steady state after t=300 s",
+        )
+    )
+    assert a_small > a_large * 1.5
+    assert abs(b_small - 500.0) / 500.0 < 0.25
+    assert abs(b_large - 1800.0) / 1800.0 < 0.20

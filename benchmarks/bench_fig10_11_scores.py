@@ -1,0 +1,78 @@
+"""Figs. 10 & 11 — compress-7zip efficiency of the *small* instances on
+chetemi and chiclet, configurations A vs B, 15 iterations.
+
+Timeline note: scores need the whole benchmark run; we compress the
+protocol with ``time_scale=0.2`` (work and start times alike), which
+preserves iteration-by-iteration shape: the first iterations agree
+between A and B (no contention yet), then the controller caps the small
+instances at their guarantee while A keeps giving them the larger CFS
+share, and after the large instances finish the small ones speed back
+up.  Scores are MHz-equivalents (work per wall-second); 7-Zip's MIPS is
+proportional.
+"""
+
+import numpy as np
+
+from repro.sim.export import scores_to_csv
+from repro.sim.report import render_table, scores_rows
+from repro.sim.scenario import eval1_chetemi, eval1_chiclet
+
+from conftest import emit, results_path
+
+SCALE = 0.2
+DURATION = 3500.0
+
+
+def _run(builder):
+    scenario = builder(
+        duration=DURATION, time_scale=SCALE, dt=0.5, run_to_completion=True
+    )
+    return scenario.run(controlled=False), scenario.run(controlled=True)
+
+
+def _emit_figure(fig, node, res_a, res_b):
+    table = {
+        "small A": res_a.scores_by_group["small"],
+        "small B": res_b.scores_by_group["small"],
+        "large A": res_a.scores_by_group["large"],
+        "large B": res_b.scores_by_group["large"],
+    }
+    headers, rows = scores_rows(table)
+    emit(
+        render_table(
+            headers,
+            rows,
+            title=f"{fig} — compress scores on {node} (MHz-equivalents/iteration)",
+        )
+    )
+    scores_to_csv(results_path(f"{fig.lower().replace('. ', '')}_{node}.csv"), table)
+
+
+def test_fig10_chetemi_scores(once):
+    res_a, res_b = once(_run, eval1_chetemi)
+    _emit_figure("Fig. 10", "chetemi", res_a, res_b)
+
+    small_a = res_a.scores_by_group["small"]
+    small_b = res_b.scores_by_group["small"]
+    large_a = res_a.scores_by_group["large"]
+    large_b = res_b.scores_by_group["large"]
+    # uncontended head: A ~ B
+    assert np.allclose(small_a[1:3], small_b[1:3], rtol=0.2)
+    # contended window: B capped at guarantee, below A's CFS bonus
+    assert small_b[3:6].mean() < small_a[3:6].mean() * 0.75
+    # large instances: B wins and stays near the guaranteed rate
+    assert large_b[3:].mean() > large_a[3:].mean() * 1.4
+
+
+def test_fig11_chiclet_scores(once):
+    res_a, res_b = once(_run, eval1_chiclet)
+    _emit_figure("Fig. 11", "chiclet", res_a, res_b)
+
+    small_b = res_b.scores_by_group["small"]
+    large_b = res_b.scores_by_group["large"]
+    # Paper: "executions of scenario B on chetemi and chiclet ... give
+    # almost identical performances" — B small contended iterations track
+    # 2 x 500 MHz on both nodes.
+    contended = small_b[3:6].mean()
+    assert 0.6 * 1000.0 <= contended <= 1.4 * 1000.0
+    assert np.all(large_b[3:] >= 0.7 * 4 * 1800.0)

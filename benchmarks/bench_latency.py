@@ -1,0 +1,133 @@
+"""Extension — tail latency of the paper's motivating low tier.
+
+The paper's "personal website" example is exactly the workload whose
+owner feels *response time*.  One web VM (2 vCPU @ 500 MHz, modest
+request rate) shares a contended tiny-node with saturating batch VMs.
+Three management regimes serve the identical request stream:
+
+* **VF controller** (paper): the web VM's 500 MHz guarantee bounds its
+  queueing delay no matter how greedy the neighbours are;
+* **stock CFS**: per-VM fair share still gives the web VM plenty here —
+  the failure mode is *unpredictability* across consolidation levels,
+  so we report two neighbour counts;
+* **burst VM, credits exhausted**: the EC2-style baseline pins the web
+  VM at 10 % of a core; the queue never drains and p99 explodes — the
+  §II criticism in the unit customers actually experience.
+"""
+
+import numpy as np
+
+from repro.cgroups.cpu import QuotaSpec
+from repro.sim.engine import Simulation
+from repro.sim.report import render_table
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload
+from repro.workloads.webserver import WebServerWorkload
+from tests.conftest import make_host
+
+from conftest import emit
+
+WEB = VMTemplate("web", vcpus=2, vfreq_mhz=500.0)
+BATCH = VMTemplate("batch", vcpus=1, vfreq_mhz=2000.0)
+RUN_S = 120.0
+RPS = 3.0
+REQ_WORK = 250.0  # MHz*s per request: ~0.5 ms at 500 MHz x 1 vCPU... scaled
+
+
+def _web_workload():
+    return WebServerWorkload(
+        2, rps=RPS, work_per_request_mhz_s=REQ_WORK, seed=17
+    )
+
+
+def _host(num_batch, config=None):
+    node, hv, ctrl = make_host(config=config)
+    web = hv.provision(WEB, "web")
+    attach(web, _web_workload())
+    for k in range(num_batch):
+        vm = hv.provision(BATCH, f"batch-{k}")
+        attach(vm, ConstantWorkload(1, level=1.0))
+    return node, hv, ctrl, web
+
+
+def _run_controller(num_batch=4, *, reserve=False):
+    from dataclasses import replace
+
+    from repro.core.config import ControllerConfig
+
+    cfg = replace(
+        ControllerConfig.paper_evaluation(), reserve_guarantee=reserve
+    )
+    node, hv, ctrl, web = _host(num_batch, config=cfg)
+    ctrl.register_vm("web", WEB.vfreq_mhz)
+    for k in range(num_batch):
+        ctrl.register_vm(f"batch-{k}", BATCH.vfreq_mhz)
+    sim = Simulation(node, hv, controller=ctrl, dt=0.25)
+    sim.run(RUN_S)
+    return web.workload
+
+
+def _run_cfs(num_batch):
+    node, hv, _, web = _host(num_batch)
+    sim = Simulation(node, hv, dt=0.25)
+    sim.run(RUN_S)
+    return web.workload
+
+
+def _run_burst_broke(num_batch=4):
+    """Burst baseline with credits gone: hard 10 % cap per vCPU."""
+    node, hv, _, web = _host(num_batch)
+    for vcpu in web.vcpus:
+        node.fs.set_quota(vcpu.cgroup_path, QuotaSpec(10_000, 100_000))
+    sim = Simulation(node, hv, dt=0.25)
+    sim.run(RUN_S)
+    return web.workload
+
+
+def test_web_tail_latency(once):
+    results = once(
+        lambda: {
+            "VF controller (paper)": _run_controller(),
+            "VF controller (reserved ext.)": _run_controller(reserve=True),
+            "stock CFS, 4 neighbours": _run_cfs(4),
+            "burst VM, no credits": _run_burst_broke(),
+        }
+    )
+
+    rows = []
+    for label, w in results.items():
+        rows.append(
+            [
+                label,
+                w.served,
+                f"{w.mean_ms():.1f}",
+                f"{w.percentile_ms(99):.1f}",
+                w.queue_depth,
+            ]
+        )
+    emit(
+        render_table(
+            ["regime", "served", "mean ms", "p99 ms", "still queued"],
+            rows,
+            title=f"Web VM tail latency, {RPS:.0f} rps for {RUN_S:.0f} s, contended node",
+        )
+    )
+
+    ctrl_w = results["VF controller (paper)"]
+    reserved_w = results["VF controller (reserved ext.)"]
+    cfs_w = results["stock CFS, 4 neighbours"]
+    burst_w = results["burst VM, no credits"]
+
+    # 1. the broke burst VM cannot drain its queue: p99 an order of
+    # magnitude (or more) above every other regime (§II in latency units)
+    assert burst_w.percentile_ms(99) > 10 * ctrl_w.percentile_ms(99)
+    assert burst_w.queue_depth > 10
+    # 2. all non-burst regimes drain the queue
+    assert ctrl_w.queue_depth <= 2
+    assert reserved_w.queue_depth <= 2
+    # 3. honest finding: the paper's trigger ramp costs the bursty web VM
+    # tail latency vs stock CFS at this consolidation level ...
+    assert ctrl_w.percentile_ms(99) > cfs_w.percentile_ms(99)
+    # 4. ... and the reserved-guarantee extension wins most of it back
+    assert reserved_w.percentile_ms(99) < 0.5 * ctrl_w.percentile_ms(99)

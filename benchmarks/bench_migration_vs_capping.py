@@ -1,0 +1,139 @@
+"""Extension — classic migration-based management vs frequency capping.
+
+The paper's introduction: providers either under-consolidate or "rely on
+migration mechanism" when uncontrolled VMs collide; §IV-C adds that an
+overcommitted placement "would reduce the performances of the VM
+instances (or trigger migrations)".  This bench stages exactly that
+comparison on two chetemi nodes hosting 16 large VMs (64 vCPUs,
+115 200 MHz of demand — more than one node's 96 000 MHz):
+
+* **classic**: the x1.8 vCPU-count rule consolidates 18 VMs on node 0
+  and 8 on node 1, no capping; a reactive threshold policy migrates VMs
+  off the overloaded node — but the cluster is nearly full, so it can
+  only partially relieve the hotspot and the stuck VMs run below the
+  speed their owners paid for;
+* **paper**: Eq. 7 splits the VMs 13 + 13 up front, every node runs the
+  controller, guarantees hold and no migration ever triggers.
+
+The cluster is sized so *total* capacity suffices (26 x 7 200 =
+187 200 <= 2 x 96 000 MHz): the comparison isolates the management
+style, not raw capacity.
+"""
+
+from repro.hw.cluster import Cluster, ClusterNode
+from repro.hw.nodespecs import CHETEMI
+from repro.placement.bestfit import BestFit
+from repro.placement.constraints import CoreSplittingConstraint
+from repro.placement.evaluator import Placement
+from repro.placement.migration import MigrationModel, ThresholdMigrationPolicy
+from repro.placement.request import PlacementRequest, expand_requests
+from repro.sim.cluster_engine import ClusterSimulation
+from repro.sim.report import render_table
+from repro.virt.template import LARGE
+from repro.workloads.compress7zip import Compress7Zip
+
+from conftest import emit
+
+RUN_S = 240.0
+
+
+def _cluster():
+    return Cluster([ClusterNode("node-0", CHETEMI), ClusterNode("node-1", CHETEMI)])
+
+
+def _requests():
+    return expand_requests([(LARGE, 26)])
+
+
+def _workload_for(request):
+    return Compress7Zip(
+        request.template.vcpus,
+        iterations=100,
+        work_per_iteration_mhz_s=100_000.0,
+    )
+
+
+def _run_classic():
+    sim = ClusterSimulation(
+        _cluster(),
+        controlled=False,
+        dt=0.5,
+        migration_model=MigrationModel(link_gbps=10.0, downtime_s=1.0),
+        migration_policy=ThresholdMigrationPolicy(high_watermark=1.0, patience=3),
+        enforce_admission=False,
+    )
+    placement = Placement(cluster=_cluster())
+    # x1.8 consolidation: 72 vCPUs per node -> BestFit-style fill order
+    # puts 18 VMs on node-0 and the remaining 8 on node-1.
+    for k, request in enumerate(_requests()):
+        placement.assign("node-0" if k < 18 else "node-1", request)
+    sim.deploy(placement, _workload_for)
+    sim.run(RUN_S)
+    return sim
+
+
+def _run_paper():
+    sim = ClusterSimulation(_cluster(), controlled=True, dt=0.5)
+    placement = BestFit(CoreSplittingConstraint()).place(_cluster(), _requests())
+    sim.deploy(placement, _workload_for)
+    sim.run(RUN_S)
+    return sim
+
+
+def _work_done(sim):
+    return sum(
+        sum(s.work_mhz_s for s in vm.workload.scores)
+        for vm in sim.all_vms().values()
+    )
+
+
+def _per_vm_mean_scores(sim):
+    import numpy as np
+
+    out = {}
+    for name, vm in sim.all_vms().items():
+        scores = [s.score for s in vm.workload.scores]
+        out[name] = float(np.mean(scores)) if scores else 0.0
+    return out
+
+
+def test_migration_vs_capping(once):
+    classic, paper = once(lambda: (_run_classic(), _run_paper()))
+
+    classic_scores = _per_vm_mean_scores(classic)
+    paper_scores = _per_vm_mean_scores(paper)
+    rows = [
+        [
+            "classic (x1.8 + migrations)",
+            len(classic.migrations),
+            f"{_work_done(classic):,.0f}",
+            f"{min(classic_scores.values()):,.0f}",
+            f"{classic.total_energy_wh():.1f}",
+        ],
+        [
+            "paper (Eq.7 + controller)",
+            len(paper.migrations),
+            f"{_work_done(paper):,.0f}",
+            f"{min(paper_scores.values()):,.0f}",
+            f"{paper.total_energy_wh():.1f}",
+        ],
+    ]
+    emit(
+        render_table(
+            ["management", "migrations", "work (MHz*s)", "worst VM score", "energy (Wh)"],
+            rows,
+            title="26 large VMs on 2 chetemi, 240 s",
+        )
+    )
+
+    # Classic management needed migrations (each with downtime); the
+    # paper's placement held Eq. 7 up front so none ever triggered.
+    assert len(classic.migrations) >= 1
+    assert len(paper.migrations) == 0
+    # The paper's promise is the *guarantee*: every VM under the
+    # controller sustains roughly the 4x1800 MHz work rate it paid for,
+    # while classic management leaves the VMs stuck on the hotspot below
+    # it for the whole run.
+    guarantee_rate = 4 * 1800.0
+    assert min(paper_scores.values()) >= 0.85 * guarantee_rate
+    assert min(classic_scores.values()) < min(paper_scores.values())

@@ -1,0 +1,160 @@
+"""Extension — operator study: admission policy vs SLA under churn.
+
+The paper's §I premise, staged: a Poisson stream of VM requests (the
+paper's small/medium/large mix) hits a 2-chetemi + 1-chiclet cluster for
+a simulated half hour.  Three operating points:
+
+* **Eq. 7 + controller** (the paper): admit only what can be
+  guaranteed; the controller enforces it;
+* **vCPU-count + no capping**: the classic rule at 1:1 — admits fewer
+  VMs than Eq. 7 can (it counts vCPUs, not MHz), and uncontrolled
+  sharing still lets colliding VMs dip below their implied speed;
+* **vCPU-count x2 + no capping**: the overcommit everyone actually
+  runs — highest acceptance, SLA carnage.
+
+Ground-truth SLA: a VM-period is violated when a vCPU demanding at
+least its guaranteed share received less than 98 % of it.  SLA is
+reported separately for steady (batch) and bursty (web) VMs: the
+controller's multiplicative ramp (§III-B2) makes a VM waking from idle
+climb back to its guarantee over several iterations, a real cost of the
+paper's trigger design that only bursty workloads pay.
+"""
+
+from repro.hw.cluster import Cluster
+from repro.hw.nodespecs import CHETEMI, CHICLET
+from repro.placement.constraints import CoreSplittingConstraint, VcpuCountConstraint
+from repro.sim.arrivals import CloudOperator, generate_arrivals
+from repro.sim.cluster_engine import ClusterSimulation
+from repro.sim.report import render_table
+from repro.virt.template import LARGE, MEDIUM, SMALL
+from repro.workloads.synthetic import BurstyWorkload, ConstantWorkload
+
+from conftest import emit
+
+HORIZON_S = 1800.0
+RATE = 0.06  # one VM every ~17 s; with 900 s lifetimes the steady-state
+# offered load (~54 VMs, ~163 kMHz) well exceeds one chetemi's 96 kMHz.
+
+
+def _cluster():
+    return Cluster.from_counts({CHETEMI: 1})
+
+
+def _events():
+    return generate_arrivals(
+        rate_per_s=RATE,
+        template_mix=[(SMALL, 5.0), (MEDIUM, 1.0), (LARGE, 2.0)],
+        mean_lifetime_s=900.0,
+        horizon_s=HORIZON_S,
+        seed=42,
+    )
+
+
+def _workload_for(event):
+    # mixed population: half saturating batch, half bursty web
+    if int(event.name.split("-")[-1]) % 2 == 0:
+        return ConstantWorkload(event.template.vcpus, level=1.0)
+    return BurstyWorkload(
+        event.template.vcpus, seed=hash(event.name) % 2**32, start_time=event.t
+    )
+
+
+def _run(constraint, *, controlled, enforce_admission, controller_config=None):
+    sim = ClusterSimulation(
+        _cluster(),
+        controlled=controlled,
+        dt=0.5,
+        enforce_admission=enforce_admission,
+        controller_config=controller_config,
+    )
+    operator = CloudOperator(sim, constraint, _workload_for)
+    return operator.run(_events(), horizon_s=HORIZON_S)
+
+
+def _sweep():
+    from dataclasses import replace
+
+    from repro.core.config import ControllerConfig
+
+    reserved_cfg = replace(
+        ControllerConfig.paper_evaluation(), reserve_guarantee=True
+    )
+    return {
+        "Eq.7 + controller": _run(
+            CoreSplittingConstraint(), controlled=True, enforce_admission=True
+        ),
+        "Eq.7 + controller (reserved)": _run(
+            CoreSplittingConstraint(),
+            controlled=True,
+            enforce_admission=True,
+            controller_config=reserved_cfg,
+        ),
+        "vCPU count, no capping": _run(
+            VcpuCountConstraint(), controlled=False, enforce_admission=False
+        ),
+        "vCPU count x2, no capping": _run(
+            VcpuCountConstraint(consolidation_factor=2.0),
+            controlled=False,
+            enforce_admission=False,
+        ),
+    }
+
+
+def _class_rate(outcome, *, steady: bool) -> float:
+    """Violation rate restricted to steady (even index) or bursty VMs."""
+    checks = violations = 0
+    for name, c in outcome.checks_by_vm.items():
+        is_steady = int(name.split("-")[-1]) % 2 == 0
+        if is_steady != steady:
+            continue
+        checks += c
+        violations += outcome.violations_by_vm.get(name, 0)
+    return violations / checks if checks else 0.0
+
+
+def test_operator_study(once):
+    outcomes = once(_sweep)
+
+    rows = []
+    for label, outcome in outcomes.items():
+        rows.append(
+            [
+                label,
+                f"{outcome.accepted}/{outcome.accepted + outcome.rejected}",
+                f"{outcome.acceptance_rate:.2f}",
+                f"{_class_rate(outcome, steady=True) * 100:.1f} %",
+                f"{_class_rate(outcome, steady=False) * 100:.1f} %",
+                len(outcome.vms_violated),
+            ]
+        )
+    emit(
+        render_table(
+            ["admission policy", "accepted", "rate", "SLA viol (steady)",
+             "SLA viol (bursty)", "VMs hit"],
+            rows,
+            title=f"Operator study: {HORIZON_S:.0f} s of Poisson arrivals, 1 chetemi",
+        )
+    )
+
+    eq7 = outcomes["Eq.7 + controller"]
+    reserved = outcomes["Eq.7 + controller (reserved)"]
+    classic = outcomes["vCPU count, no capping"]
+    over = outcomes["vCPU count x2, no capping"]
+
+    # the paper's pitch, quantified:
+    # 1. guarantees hold for steady VMs under Eq.7 + controller ...
+    assert _class_rate(eq7, steady=True) <= 0.01
+    # 2. ... the residual bursty-VM rate is the §III-B2 ramp cost, an
+    # honest finding about the trigger design (documented, bounded):
+    assert _class_rate(eq7, steady=False) <= 0.25
+    # 2b. reserving guarantees (our extension) removes the ramp cost
+    assert _class_rate(reserved, steady=False) <= 0.01
+    assert _class_rate(reserved, steady=True) <= 0.01
+    # 3. overcommit buys acceptance with steady-VM SLA violations
+    assert over.accepted >= classic.accepted
+    assert _class_rate(over, steady=True) > _class_rate(eq7, steady=True)
+    # 4. Eq.7 admits at least as many VMs as strict vCPU counting — MHz
+    # is the finer-grained currency (a core can host several slow vCPUs)
+    assert eq7.accepted >= classic.accepted
+    # 5. and the cluster was genuinely contended for the comparison
+    assert eq7.rejected > 0

@@ -1,0 +1,83 @@
+"""§IV-C — the placement study.
+
+Cluster: 12 chetemi + 10 chiclet.  Workload: 250 small + 50 medium +
+100 large (1 210 000 MHz of guaranteed demand).
+
+Paper numbers:
+* frequency-aware BestFit (Eq. 7): 15 / 22 nodes used (our BFD variant
+  packs tighter — <= 15), 7+ nodes free for shutdown;
+* vCPU-count BestFit: all 22 nodes;
+* vCPU-count with consolidation x1.8: 15 nodes, but Eq. 7 violated on
+  the hottest nodes (36 small on a chetemi — exactly the paper's count).
+"""
+
+from repro.hw.cluster import Cluster
+from repro.placement.bestfit import BestFit
+from repro.placement.constraints import CoreSplittingConstraint, VcpuCountConstraint
+from repro.placement.evaluator import evaluate, nodes_by_spec_used
+from repro.placement.firstfit import FirstFit
+from repro.placement.request import paper_workload
+
+from conftest import emit
+
+
+def _run_all():
+    cluster = Cluster.paper_cluster()
+    requests = paper_workload()
+    algos = {
+        "BestFit + Eq.7 (paper B)": BestFit(CoreSplittingConstraint()),
+        "BestFit + vCPU count": BestFit(VcpuCountConstraint()),
+        "BestFit + vCPU x1.8": BestFit(VcpuCountConstraint(consolidation_factor=1.8)),
+        "FirstFit + Eq.7": FirstFit(CoreSplittingConstraint()),
+    }
+    return {
+        label: algo.place(cluster, requests) for label, algo in algos.items()
+    }
+
+
+def test_placement_study(once):
+    placements = once(_run_all)
+
+    rows = []
+    for label, placement in placements.items():
+        stats = evaluate(placement)
+        by_spec = nodes_by_spec_used(placement)
+        rows.append(
+            [
+                label,
+                f"{stats.nodes_used}/{stats.nodes_total}",
+                stats.unplaced,
+                f"{stats.max_mhz_load_fraction:.2f}",
+                f"{stats.idle_power_saved_w:.0f} W",
+                f"{by_spec.get('chetemi', 0)}+{by_spec.get('chiclet', 0)}",
+            ]
+        )
+    emit(
+        render_header_rows(rows)
+    )
+
+    eq7 = evaluate(placements["BestFit + Eq.7 (paper B)"])
+    count = evaluate(placements["BestFit + vCPU count"])
+    conso = evaluate(placements["BestFit + vCPU x1.8"])
+
+    assert eq7.unplaced == 0
+    assert eq7.nodes_used <= 15  # paper: 15
+    assert eq7.nodes_free >= 7  # paper: 7 nodes reusable/shutdown
+    assert eq7.max_mhz_load_fraction <= 1.0 + 1e-9
+
+    assert count.nodes_used == 22  # paper: all nodes needed
+
+    assert conso.nodes_used == 15  # paper: same node count as Eq. 7 ...
+    assert conso.max_mhz_load_fraction > 1.0  # ... but guarantees broken
+    p18 = placements["BestFit + vCPU x1.8"]
+    assert p18.max_vms_of_template_on_spec("small", "chetemi") == 36  # paper: 36
+
+
+def render_header_rows(rows):
+    from repro.sim.report import render_table
+
+    return render_table(
+        ["algorithm", "nodes used", "unplaced", "max MHz load", "idle W saved", "chetemi+chiclet"],
+        rows,
+        title="§IV-C placement study",
+    )

@@ -1,0 +1,47 @@
+"""Shared helpers for the reproduction benches.
+
+Each bench regenerates one of the paper's tables or figures and prints
+it (captured by ``pytest -s`` or the tee'd bench log).  Figure benches
+run the underlying scenario exactly once inside ``benchmark.pedantic``;
+micro-benches (controller overhead) use normal benchmark rounds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+#: All bench artefacts are also appended here for EXPERIMENTS.md.
+ARTEFACT_LOG = pathlib.Path(__file__).parent / "artefacts.log"
+
+#: CSV exports of every figure's underlying data land here.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def results_path(name: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name
+
+
+def emit(text: str) -> None:
+    """Print a bench artefact so it survives pytest's capture.
+
+    Written to the process's real stderr (bypassing pytest's capsys) and
+    appended to ``benchmarks/artefacts.log``.
+    """
+    out = "\n" + text + "\n"
+    sys.__stderr__.write(out)
+    with ARTEFACT_LOG.open("a") as fh:
+        fh.write(out)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive scenario exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

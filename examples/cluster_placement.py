@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Cluster placement — using virtual frequency as a packing dimension.
+
+Replays the paper's §IV-C study: place 250 small + 50 medium + 100 large
+VMs on 12 chetemi + 10 chiclet machines with BestFit under (a) the
+classic vCPU-count constraint, (b) the paper's core-splitting constraint
+(Eq. 7), and (c) vCPU-count with a x1.8 consolidation factor — then
+project the energy impact of shutting down the freed nodes.
+
+Run:  python examples/cluster_placement.py
+"""
+
+from repro import BestFit, Cluster, CoreSplittingConstraint, VcpuCountConstraint
+from repro.placement.evaluator import evaluate, nodes_by_spec_used
+from repro.placement.request import paper_workload
+from repro.sim.report import render_table
+
+
+def main() -> None:
+    cluster = Cluster.paper_cluster()
+    requests = paper_workload()
+    demand = sum(r.demand_mhz for r in requests)
+    print(f"cluster : {len(cluster)} nodes, "
+          f"{cluster.total_capacity_mhz():,.0f} MHz capacity")
+    print(f"workload: {len(requests)} VMs, {demand:,.0f} MHz guaranteed demand")
+    print()
+
+    rows = []
+    for label, constraint in (
+        ("vCPU count (classic)", VcpuCountConstraint()),
+        ("vCPU count x1.8 (overcommit)", VcpuCountConstraint(consolidation_factor=1.8)),
+        ("core splitting, Eq. 7 (paper)", CoreSplittingConstraint()),
+    ):
+        placement = BestFit(constraint).place(cluster, requests)
+        stats = evaluate(placement)
+        by_spec = nodes_by_spec_used(placement)
+        rows.append([
+            label,
+            f"{stats.nodes_used}/{stats.nodes_total}",
+            f"{by_spec.get('chetemi', 0)} + {by_spec.get('chiclet', 0)}",
+            "yes" if stats.max_mhz_load_fraction <= 1.0 else "NO",
+            f"{stats.idle_power_saved_w / 1000.0:.2f} kW",
+        ])
+    print(render_table(
+        ["constraint", "nodes used", "chetemi+chiclet", "guarantee holds", "idle power saved"],
+        rows,
+    ))
+    print()
+    print("The x1.8 overcommit reaches the same node count as Eq. 7 but")
+    print("breaks the frequency guarantee on its hottest nodes — the very")
+    print("situation the controller-backed constraint avoids (paper §IV-C).")
+
+
+if __name__ == "__main__":
+    main()

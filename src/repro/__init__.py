@@ -1,0 +1,56 @@
+"""repro — reproduction of *Enabling Dynamic Virtual Frequency Scaling
+for Virtual Machines in the Cloud* (Cadorel & Rouvoy, IEEE CLUSTER 2022).
+
+Public API tour:
+
+>>> from repro import (
+...     VirtualFrequencyController, ControllerConfig,   # the contribution
+...     Node, CHETEMI, Hypervisor, SMALL, LARGE,        # simulated host
+...     Simulation, eval1_chetemi,                      # experiments
+... )
+
+The package layers (bottom-up): ``repro.cgroups`` (simulated cgroupfs),
+``repro.sched`` (CFS-like scheduler), ``repro.hw`` (nodes/DVFS/energy),
+``repro.virt`` (KVM-like hypervisor), ``repro.workloads`` (Phoronix-like
+benchmarks), ``repro.core`` (the paper's virtual frequency controller),
+``repro.placement`` (BestFit/FirstFit with the Eq. 7 constraint),
+``repro.sim`` (engine + the paper's scenarios) and ``repro.analysis``.
+"""
+
+from repro.cgroups import CgroupFS, CgroupVersion
+from repro.core import ControllerConfig, VirtualFrequencyController
+from repro.hw import CHETEMI, CHICLET, Cluster, Node, NodeSpec
+from repro.placement import BestFit, CoreSplittingConstraint, FirstFit, VcpuCountConstraint
+from repro.sim import Simulation, eval1_chetemi, eval1_chiclet, eval2_chetemi
+from repro.virt import Hypervisor, LARGE, MEDIUM, SMALL, VMTemplate
+from repro.workloads import Compress7Zip, OpenSSLSpeed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CgroupFS",
+    "CgroupVersion",
+    "ControllerConfig",
+    "VirtualFrequencyController",
+    "CHETEMI",
+    "CHICLET",
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    "BestFit",
+    "FirstFit",
+    "CoreSplittingConstraint",
+    "VcpuCountConstraint",
+    "Simulation",
+    "eval1_chetemi",
+    "eval1_chiclet",
+    "eval2_chetemi",
+    "Hypervisor",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "VMTemplate",
+    "Compress7Zip",
+    "OpenSSLSpeed",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Terminal line charts for the paper's figures.
+
+No plotting stack is assumed; these render multi-series time charts as
+fixed-width text, good enough to eyeball the Fig. 6-13 shapes straight
+from a bench or the CLI:
+
+>>> chart = AsciiChart(width=40, height=8)
+>>> chart.add_series("small", times, small_mhz)
+>>> chart.add_series("large", times, large_mhz)
+>>> print(chart.render(title="Fig. 7"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Glyphs assigned to series in insertion order.
+GLYPHS = "*o+x#@%&"
+
+
+@dataclass
+class _Series:
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+    glyph: str
+
+
+class AsciiChart:
+    """A fixed-size character canvas with auto-scaled axes."""
+
+    def __init__(self, width: int = 72, height: int = 16) -> None:
+        if width < 16 or height < 4:
+            raise ValueError("chart must be at least 16x4 characters")
+        self.width = width
+        self.height = height
+        self._series: List[_Series] = []
+
+    def add_series(self, name: str, times: Sequence[float], values: Sequence[float]) -> None:
+        t = np.asarray(times, dtype=np.float64)
+        v = np.asarray(values, dtype=np.float64)
+        if t.shape != v.shape or t.ndim != 1:
+            raise ValueError("times and values must be equal-length 1-D")
+        if t.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        if len(self._series) >= len(GLYPHS):
+            raise ValueError(f"too many series (max {len(GLYPHS)})")
+        glyph = GLYPHS[len(self._series)]
+        self._series.append(_Series(name, t, v, glyph))
+
+    def render(self, *, title: Optional[str] = None, y_label: str = "") -> str:
+        if not self._series:
+            raise ValueError("no series to render")
+        t_min = min(float(s.times.min()) for s in self._series)
+        t_max = max(float(s.times.max()) for s in self._series)
+        v_min = min(float(np.nanmin(s.values)) for s in self._series)
+        v_max = max(float(np.nanmax(s.values)) for s in self._series)
+        if t_max == t_min:
+            t_max = t_min + 1.0
+        if v_max == v_min:
+            v_max = v_min + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series in self._series:
+            cols = ((series.times - t_min) / (t_max - t_min) * (self.width - 1)).round()
+            rows = (
+                (series.values - v_min) / (v_max - v_min) * (self.height - 1)
+            ).round()
+            for col, row in zip(cols.astype(int), rows.astype(int)):
+                if np.isnan(row):
+                    continue
+                grid[self.height - 1 - int(row)][int(col)] = series.glyph
+
+        label_width = max(len(f"{v_max:.0f}"), len(f"{v_min:.0f}")) + 1
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = f"{v_max:.0f}".rjust(label_width)
+            elif i == self.height - 1:
+                label = f"{v_min:.0f}".rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        axis = " " * label_width + " +" + "-" * self.width
+        lines.append(axis)
+        t_axis = (
+            " " * label_width
+            + "  "
+            + f"{t_min:.0f}".ljust(self.width - 8)
+            + f"{t_max:.0f}".rjust(8)
+        )
+        lines.append(t_axis)
+        legend = "   ".join(f"{s.glyph} {s.name}" for s in self._series)
+        lines.append(" " * label_width + "  " + legend + (f"   [{y_label}]" if y_label else ""))
+        return "\n".join(lines)
+
+
+def chart_time_series(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: Optional[str] = None,
+    width: int = 72,
+    height: int = 16,
+    y_label: str = "MHz",
+) -> str:
+    """One-call helper: name -> (times, values)."""
+    chart = AsciiChart(width=width, height=height)
+    for name, (times, values) in series.items():
+        chart.add_series(name, times, values)
+    return chart.render(title=title, y_label=y_label)

@@ -1,0 +1,83 @@
+"""Series utilities: smoothing, plateau detection, settling time."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centred-ish moving average with edge shrinkage (same length out)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(window)
+    sums = np.convolve(values, kernel, mode="same")
+    counts = np.convolve(np.ones_like(values), kernel, mode="same")
+    return sums / counts
+
+
+def plateau_segments(
+    times: np.ndarray,
+    values: np.ndarray,
+    *,
+    tolerance: float,
+    min_duration: float,
+) -> List[Tuple[float, float, float]]:
+    """Find (t_start, t_end, level) segments where the series stays within
+    ``tolerance`` of its running segment mean for >= ``min_duration``."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.shape != values.shape:
+        raise ValueError("times/values shape mismatch")
+    if tolerance <= 0 or min_duration <= 0:
+        raise ValueError("tolerance and min_duration must be positive")
+    segments: List[Tuple[float, float, float]] = []
+    i = 0
+    n = times.size
+    while i < n:
+        j = i + 1
+        total = values[i]
+        while j < n:
+            mean = total / (j - i)
+            if abs(values[j] - mean) > tolerance:
+                break
+            total += values[j]
+            j += 1
+        if times[j - 1] - times[i] >= min_duration:
+            segments.append((float(times[i]), float(times[j - 1]), float(total / (j - i))))
+        i = j
+    return segments
+
+
+def settling_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    target: float,
+    *,
+    band: float,
+    t_from: float = 0.0,
+) -> float:
+    """First time after ``t_from`` the series enters and stays within
+    ``target +- band`` until the end; ``inf`` when it never settles."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if band <= 0:
+        raise ValueError("band must be positive")
+    mask = times >= t_from
+    t = times[mask]
+    v = values[mask]
+    inside = np.abs(v - target) <= band
+    if not inside.any():
+        return float("inf")
+    # Last index where the series is *outside*; settled after that.
+    outside_idx = np.nonzero(~inside)[0]
+    if outside_idx.size == 0:
+        return float(t[0])
+    last_out = outside_idx[-1]
+    if last_out + 1 >= t.size:
+        return float("inf")
+    return float(t[last_out + 1])

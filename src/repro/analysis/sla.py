@@ -1,0 +1,113 @@
+"""SLA accounting for the virtual-frequency guarantee.
+
+The product the paper sells is "your vCPUs run at >= F_v whenever they
+ask".  This module turns controller reports into SLA numbers: an
+iteration *violates* a VM's SLA when some vCPU consumed (almost) its
+whole allocation — i.e. it wanted more — yet the allocation was below
+the guarantee ``C_i``.  Idle vCPUs cannot violate: not using a
+guarantee is the customer's choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.core.controller import ControllerReport
+
+#: A vCPU is considered "wanting more" when it consumed at least this
+#: fraction of its previous allocation.
+SATURATION_FRACTION = 0.9
+
+#: Tolerance on the guarantee itself (enforcement-period rounding).
+GUARANTEE_TOLERANCE = 0.98
+
+
+@dataclass
+class SlaRecord:
+    """Per-VM SLA counters."""
+
+    vm_name: str
+    iterations_busy: int = 0
+    iterations_violated: int = 0
+    worst_fraction: float = float("inf")  # min allocation/guarantee while busy
+
+    @property
+    def violation_rate(self) -> float:
+        if self.iterations_busy == 0:
+            return 0.0
+        return self.iterations_violated / self.iterations_busy
+
+
+@dataclass
+class SlaReport:
+    """Aggregated SLA outcome over a run."""
+
+    records: Dict[str, SlaRecord] = field(default_factory=dict)
+
+    def record_for(self, vm_name: str) -> SlaRecord:
+        rec = self.records.get(vm_name)
+        if rec is None:
+            rec = SlaRecord(vm_name)
+            self.records[vm_name] = rec
+        return rec
+
+    @property
+    def total_violations(self) -> int:
+        return sum(r.iterations_violated for r in self.records.values())
+
+    @property
+    def vms_ever_violated(self) -> int:
+        return sum(1 for r in self.records.values() if r.iterations_violated)
+
+    def overall_violation_rate(self) -> float:
+        busy = sum(r.iterations_busy for r in self.records.values())
+        if busy == 0:
+            return 0.0
+        return self.total_violations / busy
+
+
+def evaluate_sla(
+    reports: Iterable[ControllerReport],
+    guarantees: Dict[str, float],
+) -> SlaReport:
+    """Score a run's controller reports against per-VM guarantees.
+
+    ``guarantees`` maps VM name to its per-vCPU ``C_i`` in cycles
+    (``controller.guaranteed_cycles_of``).
+    """
+    out = SlaReport()
+    prev_alloc: Dict[str, float] = {}
+    for report in reports:
+        # group samples by VM for this iteration
+        by_vm: Dict[str, List] = {}
+        for sample in report.samples:
+            by_vm.setdefault(sample.vm_name, []).append(sample)
+        for vm_name, samples in by_vm.items():
+            guarantee = guarantees.get(vm_name)
+            if guarantee is None or guarantee <= 0:
+                continue
+            busy = False
+            violated = False
+            worst = float("inf")
+            for sample in samples:
+                allocated = report.allocations.get(sample.cgroup_path)
+                last = prev_alloc.get(sample.cgroup_path)
+                if allocated is not None:
+                    prev_alloc[sample.cgroup_path] = allocated
+                if last is None or allocated is None:
+                    continue
+                wanting = sample.consumed_cycles >= SATURATION_FRACTION * last
+                if not wanting:
+                    continue
+                busy = True
+                worst = min(worst, allocated / guarantee)
+                if allocated < GUARANTEE_TOLERANCE * guarantee:
+                    violated = True
+            if busy:
+                rec = out.record_for(vm_name)
+                rec.iterations_busy += 1
+                rec.worst_fraction = min(rec.worst_fraction, worst)
+                if violated:
+                    rec.iterations_violated += 1
+    return out

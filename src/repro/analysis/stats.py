@@ -1,0 +1,45 @@
+"""Small statistics helpers for paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected| (expected must be non-zero)."""
+    if expected == 0:
+        raise ValueError("expected must be non-zero")
+    return abs(measured - expected) / abs(expected)
+
+
+def within_band(measured: float, expected: float, rel_tol: float) -> bool:
+    """Shape check used throughout EXPERIMENTS.md: within a relative band."""
+    if rel_tol < 0:
+        raise ValueError("rel_tol must be >= 0")
+    return relative_error(measured, expected) <= rel_tol
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summarize(values) -> Summary:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )

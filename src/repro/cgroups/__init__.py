@@ -1,0 +1,27 @@
+"""Simulated Linux cgroup filesystem (v1 and v2).
+
+The paper's controller interacts with the kernel exclusively through
+cgroupfs files (``cpu.max``, ``cpu.stat``, ``cgroup.threads``) plus
+``/proc/<tid>/stat`` and ``/sys/devices/system/cpu/*/cpufreq``.  This
+package provides an in-memory filesystem exposing byte-identical file
+formats so the controller code path is the one that would run on a real
+host.
+"""
+
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.cgroups.group import CgroupNode
+from repro.cgroups.cpu import CpuController, QuotaSpec, UNLIMITED
+from repro.cgroups.procfs import ProcFS, ThreadStat
+from repro.cgroups.sysfs import CpuFreqSysFS
+
+__all__ = [
+    "CgroupFS",
+    "CgroupVersion",
+    "CgroupNode",
+    "CpuController",
+    "QuotaSpec",
+    "UNLIMITED",
+    "ProcFS",
+    "ThreadStat",
+    "CpuFreqSysFS",
+]

@@ -1,0 +1,194 @@
+"""Path-based cgroup filesystem facade (v1 and v2 layouts).
+
+The controller reads and writes *files*; this facade dispatches file
+names to the tree so the control code never touches simulator internals.
+Supported files:
+
+========================  =======================================
+cgroup v2                 cgroup v1
+========================  =======================================
+``cpu.max``               ``cpu.cfs_quota_us`` / ``cpu.cfs_period_us``
+``cpu.stat``              ``cpuacct.usage`` (ns)
+``cpu.weight``            ``cpu.shares``
+``cgroup.threads``        ``tasks``
+``cgroup.procs``          ``cgroup.procs``
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Tuple
+
+from repro.cgroups.cpu import (
+    DEFAULT_SHARES,
+    DEFAULT_WEIGHT,
+    QuotaSpec,
+    UNLIMITED,
+)
+from repro.cgroups.group import CgroupNode
+
+
+class CgroupVersion(enum.Enum):
+    """Which cgroup hierarchy flavour the host mounts."""
+
+    V1 = 1
+    V2 = 2
+
+
+class CgroupFS:
+    """In-memory cgroup filesystem with a path/file API.
+
+    >>> fs = CgroupFS(CgroupVersion.V2)
+    >>> fs.mkdir("/machine.slice")
+    >>> fs.mkdir("/machine.slice/vm-a")
+    >>> fs.write("/machine.slice/vm-a/cpu.max", "50000 100000")
+    >>> fs.read("/machine.slice/vm-a/cpu.max")
+    '50000 100000\\n'
+    """
+
+    def __init__(self, version: CgroupVersion = CgroupVersion.V2) -> None:
+        self.version = version
+        self.root = CgroupNode("", parent=None)
+
+    # -- directory operations ------------------------------------------------
+
+    def mkdir(self, path: str) -> CgroupNode:
+        """Create one cgroup directory (parents must exist)."""
+        parent_path, _, name = path.rstrip("/").rpartition("/")
+        if not name:
+            raise ValueError(f"cannot create root: {path!r}")
+        parent = self.node(parent_path or "/")
+        return parent.add_child(name)
+
+    def makedirs(self, path: str) -> CgroupNode:
+        """Create a cgroup directory and any missing ancestors."""
+        node = self.root
+        for part in path.strip("/").split("/"):
+            if not part:
+                continue
+            node = node.children.get(part) or node.add_child(part)
+        return node
+
+    def rmdir(self, path: str) -> None:
+        parent_path, _, name = path.rstrip("/").rpartition("/")
+        if not name:
+            raise ValueError("cannot remove root cgroup")
+        self.node(parent_path or "/").remove_child(name)
+
+    def node(self, path: str) -> CgroupNode:
+        """Resolve a path to its :class:`CgroupNode` (raises if missing)."""
+        if path in ("", "/"):
+            return self.root
+        found = self.root.find(path)
+        if found is None:
+            raise FileNotFoundError(f"no such cgroup: {path}")
+        return found
+
+    def exists(self, path: str) -> bool:
+        return path in ("", "/") or self.root.find(path) is not None
+
+    def listdir(self, path: str) -> List[str]:
+        """Child cgroup names under ``path`` (sorted, like ``ls``)."""
+        return sorted(self.node(path).children)
+
+    # -- file operations -------------------------------------------------------
+
+    def read(self, path: str) -> str:
+        node, fname = self._split(path)
+        reader = self._readers().get(fname)
+        if reader is None:
+            raise FileNotFoundError(f"no such cgroup file: {path}")
+        return reader(node)
+
+    def write(self, path: str, content: str) -> None:
+        node, fname = self._split(path)
+        writer = self._writers().get(fname)
+        if writer is None:
+            raise PermissionError(f"file not writable or unknown: {path}")
+        writer(node, content)
+
+    # -- convenience (typed) API used by the hypervisor/scheduler ---------------
+
+    def set_quota(self, path: str, quota: QuotaSpec) -> None:
+        self.node(path).cpu.quota = quota
+
+    def get_quota(self, path: str) -> QuotaSpec:
+        return self.node(path).cpu.quota
+
+    def attach_thread(self, path: str, tid: int) -> None:
+        self.node(path).attach_thread(tid)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _split(self, path: str) -> Tuple[CgroupNode, str]:
+        dir_path, _, fname = path.rstrip("/").rpartition("/")
+        if not fname:
+            raise FileNotFoundError(f"not a file path: {path!r}")
+        return self.node(dir_path or "/"), fname
+
+    def _readers(self) -> Dict[str, Callable[[CgroupNode], str]]:
+        if self.version is CgroupVersion.V2:
+            return {
+                "cpu.max": lambda n: n.cpu.quota.to_v2(),
+                "cpu.stat": lambda n: n.cpu.stat_v2(),
+                "cpu.weight": lambda n: f"{n.cpu.weight}\n",
+                "cgroup.threads": CgroupNode.threads_file,
+                "cgroup.procs": CgroupNode.procs_file,
+            }
+        return {
+            "cpu.cfs_quota_us": lambda n: n.cpu.quota.to_v1_quota(),
+            "cpu.cfs_period_us": lambda n: n.cpu.quota.to_v1_period(),
+            "cpuacct.usage": lambda n: n.cpu.usage_v1(),
+            "cpu.shares": lambda n: n.cpu.shares_v1(),
+            "tasks": CgroupNode.threads_file,
+            "cgroup.procs": CgroupNode.procs_file,
+        }
+
+    def _writers(self) -> Dict[str, Callable[[CgroupNode, str], None]]:
+        if self.version is CgroupVersion.V2:
+            return {
+                "cpu.max": _write_cpu_max,
+                "cpu.weight": _write_weight,
+                "cgroup.threads": _write_thread,
+            }
+        return {
+            "cpu.cfs_quota_us": _write_v1_quota,
+            "cpu.cfs_period_us": _write_v1_period,
+            "cpu.shares": _write_shares,
+            "tasks": _write_thread,
+        }
+
+
+def _write_cpu_max(node: CgroupNode, content: str) -> None:
+    node.cpu.quota = QuotaSpec.from_v2(content)
+
+
+def _write_weight(node: CgroupNode, content: str) -> None:
+    weight = int(content.strip())
+    if not 1 <= weight <= 10_000:
+        raise ValueError(f"cpu.weight out of range [1, 10000]: {weight}")
+    node.cpu.weight = weight
+
+
+def _write_shares(node: CgroupNode, content: str) -> None:
+    shares = int(content.strip())
+    if shares < 2:
+        raise ValueError(f"cpu.shares must be >= 2: {shares}")
+    node.cpu.weight = max(1, round(shares * DEFAULT_WEIGHT / DEFAULT_SHARES))
+
+
+def _write_v1_quota(node: CgroupNode, content: str) -> None:
+    quota = int(content.strip())
+    if quota < 0:
+        quota = UNLIMITED
+    node.cpu.quota = QuotaSpec(quota_us=quota, period_us=node.cpu.quota.period_us)
+
+
+def _write_v1_period(node: CgroupNode, content: str) -> None:
+    period = int(content.strip())
+    node.cpu.quota = QuotaSpec(quota_us=node.cpu.quota.quota_us, period_us=period)
+
+
+def _write_thread(node: CgroupNode, content: str) -> None:
+    node.attach_thread(int(content.strip()))

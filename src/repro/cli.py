@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation sections:
+
+* ``eval1`` — Table II/III protocol on chetemi or chiclet (Figs. 6-11)
+* ``eval2`` — Table V heterogeneous protocol (Figs. 12-14)
+* ``placement`` — the §IV-C BestFit study
+* ``overhead`` — per-stage controller cost on a loaded host
+
+Every command prints plain-text tables (the same renderers the benches
+use) so results can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.report import render_table, scores_rows, series_to_rows
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Enabling Dynamic Virtual Frequency "
+        "Scaling for Virtual Machines in the Cloud' (CLUSTER 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("eval1", help="first evaluation (Tables II/III)")
+    p1.add_argument("--node", choices=("chetemi", "chiclet"), default="chetemi")
+    p1.add_argument("--config", choices=("A", "B", "both"), default="both")
+    p1.add_argument("--duration", type=float, default=600.0)
+    p1.add_argument("--time-scale", type=float, default=1.0)
+    p1.add_argument("--dt", type=float, default=0.5)
+    p1.add_argument("--scores", action="store_true",
+                    help="run to completion and print per-iteration scores")
+    p1.add_argument("--chart", action="store_true",
+                    help="render the frequency series as an ASCII chart")
+
+    p2 = sub.add_parser("eval2", help="second evaluation (Table V)")
+    p2.add_argument("--config", choices=("A", "B", "both"), default="both")
+    p2.add_argument("--duration", type=float, default=700.0)
+    p2.add_argument("--time-scale", type=float, default=1.0)
+    p2.add_argument("--dt", type=float, default=0.5)
+    p2.add_argument("--chart", action="store_true",
+                    help="render the frequency series as an ASCII chart")
+
+    p3 = sub.add_parser("placement", help="the §IV-C placement study")
+    p3.add_argument("--consolidation", type=float, default=1.8,
+                    help="consolidation factor for the vCPU-count variant")
+
+    p4 = sub.add_parser("overhead", help="controller per-stage cost")
+    p4.add_argument("--iterations", type=int, default=20)
+
+    p5 = sub.add_parser("operator", help="admission-policy study under Poisson churn")
+    p5.add_argument("--horizon", type=float, default=600.0)
+    p5.add_argument("--rate", type=float, default=0.06, help="VM arrivals per second")
+    p5.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = {
+        "eval1": _cmd_eval1,
+        "eval2": _cmd_eval2,
+        "placement": _cmd_placement,
+        "overhead": _cmd_overhead,
+        "operator": _cmd_operator,
+    }[args.command]
+    return command(args)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _configs(choice: str):
+    if choice == "both":
+        return [("A", False), ("B", True)]
+    return [(choice, choice == "B")]
+
+
+def _print_freq_tables(result, labels, step_s: float, chart: bool = False) -> None:
+    series = {
+        f"{label} MHz": result.group_freq_series(label) for label in labels
+    }
+    headers, rows = series_to_rows(series, step_s=step_s)
+    print(render_table(headers, rows,
+                       title=f"configuration {result.configuration}"))
+    if chart:
+        from repro.analysis.ascii_chart import chart_time_series
+
+        print(chart_time_series(
+            {name: (s.times, s.values) for name, s in series.items()},
+            title=f"configuration {result.configuration}",
+        ))
+    print(f"  cross-core frequency std: {result.mean_core_freq_std_mhz:.1f} MHz")
+    if result.configuration == "B":
+        print(f"  controller iteration cost: {result.controller_overhead_s * 1e3:.2f} ms "
+              f"(monitoring {result.monitor_overhead_s * 1e3:.2f} ms)")
+
+
+def _cmd_eval1(args) -> int:
+    from repro.sim.scenario import eval1_chetemi, eval1_chiclet
+
+    builder = eval1_chetemi if args.node == "chetemi" else eval1_chiclet
+    scenario = builder(
+        duration=args.duration,
+        time_scale=args.time_scale,
+        dt=args.dt,
+        run_to_completion=args.scores,
+    )
+    for label, controlled in _configs(args.config):
+        result = scenario.run(controlled=controlled)
+        _print_freq_tables(
+            result, ["small", "large"],
+            step_s=50.0 * args.time_scale, chart=args.chart,
+        )
+        if args.scores:
+            headers, rows = scores_rows(result.scores_by_group)
+            print(render_table(headers, rows,
+                               title=f"scores, configuration {label}"))
+        print()
+    return 0
+
+
+def _cmd_eval2(args) -> int:
+    from repro.sim.scenario import eval2_chetemi
+
+    scenario = eval2_chetemi(
+        duration=args.duration, time_scale=args.time_scale, dt=args.dt
+    )
+    for _, controlled in _configs(args.config):
+        result = scenario.run(controlled=controlled)
+        _print_freq_tables(
+            result,
+            ["small", "medium", "large"],
+            step_s=50.0 * args.time_scale,
+            chart=args.chart,
+        )
+        print()
+    return 0
+
+
+def _cmd_placement(args) -> int:
+    from repro.hw.cluster import Cluster
+    from repro.placement.bestfit import BestFit
+    from repro.placement.constraints import (
+        CoreSplittingConstraint,
+        VcpuCountConstraint,
+    )
+    from repro.placement.evaluator import evaluate, nodes_by_spec_used
+    from repro.placement.request import paper_workload
+
+    cluster = Cluster.paper_cluster()
+    requests = paper_workload()
+    rows = []
+    for label, constraint in (
+        ("vCPU count", VcpuCountConstraint()),
+        (f"vCPU count x{args.consolidation}",
+         VcpuCountConstraint(consolidation_factor=args.consolidation)),
+        ("core splitting (Eq. 7)", CoreSplittingConstraint()),
+    ):
+        placement = BestFit(constraint).place(cluster, requests)
+        stats = evaluate(placement)
+        spec_counts = nodes_by_spec_used(placement)
+        rows.append([
+            label,
+            f"{stats.nodes_used}/{stats.nodes_total}",
+            stats.unplaced,
+            f"{stats.max_mhz_load_fraction:.2f}",
+            f"{spec_counts.get('chetemi', 0)}+{spec_counts.get('chiclet', 0)}",
+        ])
+    print(render_table(
+        ["constraint", "nodes", "unplaced", "max load", "chetemi+chiclet"],
+        rows,
+        title="placement of 250 small + 50 medium + 100 large VMs",
+    ))
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    import numpy as np
+
+    from repro.sim.scenario import eval1_chetemi
+
+    sim = eval1_chetemi(duration=1.0, dt=0.5).build(controlled=True)
+    for vm in sim.hypervisor.vms:
+        vm.workload.start_time = 0.0
+    sim.run(float(args.iterations))
+    reports = sim.controller.reports
+    stages = ("monitor", "estimate", "credits", "auction", "distribute", "enforce")
+    rows = [
+        [stage, f"{np.mean([getattr(r.timings, stage) for r in reports]) * 1e3:.3f}"]
+        for stage in stages
+    ]
+    rows.append(["total", f"{sim.controller.mean_iteration_seconds() * 1e3:.3f}"])
+    print(render_table(["stage", "mean ms/iteration"], rows,
+                       title=f"controller overhead over {len(reports)} iterations "
+                             f"(30 VMs / 80 vCPUs)"))
+    return 0
+
+
+def _cmd_operator(args) -> int:
+    from repro.hw.cluster import Cluster
+    from repro.hw.nodespecs import CHETEMI
+    from repro.placement.constraints import (
+        CoreSplittingConstraint,
+        VcpuCountConstraint,
+    )
+    from repro.sim.arrivals import CloudOperator, generate_arrivals
+    from repro.sim.cluster_engine import ClusterSimulation
+    from repro.virt.template import LARGE, MEDIUM, SMALL
+    from repro.workloads.synthetic import ConstantWorkload
+
+    def workload_for(event):
+        return ConstantWorkload(event.template.vcpus, level=1.0)
+
+    events = generate_arrivals(
+        rate_per_s=args.rate,
+        template_mix=[(SMALL, 5.0), (MEDIUM, 1.0), (LARGE, 2.0)],
+        mean_lifetime_s=args.horizon / 2.0,
+        horizon_s=args.horizon,
+        seed=args.seed,
+    )
+    rows = []
+    for label, constraint, controlled, admission in (
+        ("Eq.7 + controller", CoreSplittingConstraint(), True, True),
+        ("vCPU count, no capping", VcpuCountConstraint(), False, False),
+        ("vCPU x2, no capping", VcpuCountConstraint(consolidation_factor=2.0), False, False),
+    ):
+        sim = ClusterSimulation(
+            Cluster.from_counts({CHETEMI: 1}),
+            controlled=controlled,
+            dt=0.5,
+            enforce_admission=admission,
+        )
+        outcome = CloudOperator(sim, constraint, workload_for).run(
+            events, horizon_s=args.horizon
+        )
+        rows.append([
+            label,
+            f"{outcome.accepted}/{outcome.accepted + outcome.rejected}",
+            f"{outcome.violation_rate * 100:.1f} %",
+            len(outcome.vms_violated),
+        ])
+    print(render_table(
+        ["admission policy", "accepted", "SLA violations", "VMs hit"],
+        rows,
+        title=f"operator study: {len(events)} arrivals over {args.horizon:.0f} s, 1 chetemi",
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's contribution: the virtual frequency controller.
+
+Six-stage feedback loop (paper Fig. 2), triggered every ``p`` seconds:
+
+1. :mod:`repro.core.monitor`   — read vCPU consumption + estimate vfreq
+2. :mod:`repro.core.estimator` — predict upcoming utilisation (Eq. 3)
+3. :mod:`repro.core.credits`   — credits (Eq. 4) + base capping (Eq. 5)
+4. :mod:`repro.core.auction`   — market (Eq. 6) + cycle auction (Alg. 1)
+5. :mod:`repro.core.distribute`— free distribution of leftovers
+6. :mod:`repro.core.enforcer`  — write ``cpu.max``
+
+The controller only touches kernel surfaces (cgroupfs, /proc, sysfs), so
+it runs unchanged against any host exposing those files.
+"""
+
+from repro.core.config import ControllerConfig
+from repro.core.units import cycles_per_period, guaranteed_cycles, cycles_to_mhz, mhz_to_cycles
+from repro.core.monitor import Monitor, VCpuSample
+from repro.core.estimator import TrendEstimator, EstimatorDecision
+from repro.core.credits import CreditLedger, apply_base_capping
+from repro.core.auction import run_auction, AuctionOutcome
+from repro.core.distribute import distribute_leftovers
+from repro.core.enforcer import Enforcer
+from repro.core.controller import VirtualFrequencyController, ControllerReport
+from repro.core.snapshot import snapshot, restore, to_json, from_json
+from repro.core.metrics_export import render_controller, render_report
+
+__all__ = [
+    "ControllerConfig",
+    "cycles_per_period",
+    "guaranteed_cycles",
+    "cycles_to_mhz",
+    "mhz_to_cycles",
+    "Monitor",
+    "VCpuSample",
+    "TrendEstimator",
+    "EstimatorDecision",
+    "CreditLedger",
+    "apply_base_capping",
+    "run_auction",
+    "AuctionOutcome",
+    "distribute_leftovers",
+    "Enforcer",
+    "VirtualFrequencyController",
+    "ControllerReport",
+    "snapshot",
+    "restore",
+    "to_json",
+    "from_json",
+    "render_controller",
+    "render_report",
+]

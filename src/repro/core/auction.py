@@ -1,0 +1,135 @@
+"""Stage 4 — the cycles auction (paper §III-B4, Eq. 6 and Algorithm 1).
+
+Cycles left unallocated after the base capping form the *market*
+(Eq. 6).  They are sold to *buyers* — vCPUs whose allocation is below
+their estimate — in rounds of at most ``window`` cycles per VM per
+round, paid 1:1 from the VM's credit wallet.  The window prevents a rich
+VM from draining the market; rounds iterate over VMs in descending
+wallet order (priority to frugal VMs) until the market is empty, every
+buyer is satisfied, or no remaining buyer can pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.credits import CreditLedger
+
+
+@dataclass
+class AuctionOutcome:
+    """Result of one auction: per-vCPU purchased cycles and market left."""
+
+    purchased: Dict[str, float] = field(default_factory=dict)
+    market_left: float = 0.0
+    rounds: int = 0
+    spent_per_vm: Dict[str, float] = field(default_factory=dict)
+
+
+def compute_market(total_cycles: float, allocations: Mapping[str, float]) -> float:
+    """Eq. 6: node cycle budget minus the sum of current allocations."""
+    market = total_cycles - sum(allocations.values())
+    return max(0.0, market)
+
+
+def run_auction(
+    market: float,
+    demands: Mapping[str, float],
+    vm_of: Mapping[str, str],
+    ledger: CreditLedger,
+    window: float,
+    priorities: "Mapping[str, float] | None" = None,
+) -> AuctionOutcome:
+    """Algorithm 1 — sell ``market`` cycles to credit-holding buyers.
+
+    Parameters
+    ----------
+    market:
+        Unallocated cycles to sell.
+    demands:
+        Residual demand per vCPU path (``e - c``, only entries > 0 count).
+    vm_of:
+        vCPU path -> owning VM name (wallets are per VM).
+    ledger:
+        Credit wallets; purchases are deducted.
+    window:
+        Max cycles one VM may buy per round.
+    priorities:
+        Optional per-VM priority (e.g. the guaranteed frequency, for the
+        paper's §V cache-aware extension): higher-priority VMs shop
+        before richer ones; credits break ties.
+    """
+    if market < 0:
+        raise ValueError("market must be >= 0")
+    if window <= 0:
+        raise ValueError("window must be positive")
+
+    outcome = AuctionOutcome(market_left=market)
+    # Residual demand grouped by VM, preserving per-vCPU detail.
+    residual: Dict[str, float] = {
+        path: need for path, need in demands.items() if need > 1e-9
+    }
+    if not residual or market <= 0:
+        return outcome
+
+    by_vm: Dict[str, List[str]] = {}
+    for path in residual:
+        by_vm.setdefault(vm_of[path], []).append(path)
+
+    while outcome.market_left > 1e-9:
+        # Descending wallet order each round: frugal VMs shop first.
+        # With explicit priorities, those dominate and wallets break ties.
+        def _key(kv: Tuple[float, str]):
+            balance, vm = kv
+            if priorities is None:
+                return (-balance, vm)
+            return (-priorities.get(vm, 0.0), -balance, vm)
+
+        order: List[Tuple[float, str]] = sorted(
+            ((ledger.balance(vm), vm) for vm in by_vm), key=_key
+        )
+        progress = False
+        for balance, vm in order:
+            if balance <= 1e-9:
+                continue
+            vm_need = sum(residual[p] for p in by_vm[vm])
+            if vm_need <= 1e-9:
+                continue
+            buy = min(window, vm_need, balance, outcome.market_left)
+            if buy <= 1e-9:
+                continue
+            _allocate_to_vcpus(by_vm[vm], residual, buy, outcome.purchased)
+            ledger.spend(vm, buy)
+            outcome.spent_per_vm[vm] = outcome.spent_per_vm.get(vm, 0.0) + buy
+            outcome.market_left -= buy
+            progress = True
+            if outcome.market_left <= 1e-9:
+                break
+        outcome.rounds += 1
+        if not progress:
+            break  # nobody could buy: rich VMs satisfied, poor VMs broke
+    return outcome
+
+
+def _allocate_to_vcpus(
+    paths: List[str],
+    residual: Dict[str, float],
+    amount: float,
+    purchased: Dict[str, float],
+) -> None:
+    """Spread a VM's purchase across its needing vCPUs, greedily in order."""
+    remaining = amount
+    for path in paths:
+        if remaining <= 1e-12:
+            break
+        take = min(residual[path], remaining)
+        if take <= 0:
+            continue
+        residual[path] -= take
+        purchased[path] = purchased.get(path, 0.0) + take
+        remaining -= take
+    if remaining > 1e-6:
+        raise AssertionError(
+            f"auction invariant violated: {remaining} cycles bought but unassignable"
+        )

@@ -1,0 +1,255 @@
+"""The virtual frequency controller — six stages tied together.
+
+One :meth:`VirtualFrequencyController.tick` is one iteration of the
+paper's Fig. 2 loop.  The controller talks to the host exclusively
+through kernel surfaces (cgroupfs / procfs / sysfs) plus a registry of
+VM guarantees (on a real host: the template's virtual frequency from the
+provisioning layer).
+
+Configuration A (the paper's baseline) is the same object with
+``config.control_enabled = False``: the monitoring stage runs — its cost
+is part of both configurations, §IV-A2 — but stages 3-6 are skipped and
+vCPUs stay uncapped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cgroups.fs import CgroupFS
+from repro.cgroups.procfs import ProcFS
+from repro.cgroups.sysfs import CpuFreqSysFS
+from repro.core.auction import AuctionOutcome, compute_market, run_auction
+from repro.core.config import ControllerConfig
+from repro.core.credits import CreditLedger, apply_base_capping
+from repro.core.distribute import distribute_leftovers
+from repro.core.enforcer import Enforcer
+from repro.core.estimator import EstimatorDecision, TrendEstimator
+from repro.core.monitor import Monitor, VCpuSample
+from repro.core.units import cycles_per_period, guaranteed_cycles, period_us
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent per stage in one iteration (§IV-A2
+    reports 5 ms total, 4 ms of it monitoring, for the C++ original)."""
+
+    monitor: float = 0.0
+    estimate: float = 0.0
+    credits: float = 0.0
+    auction: float = 0.0
+    distribute: float = 0.0
+    enforce: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.monitor
+            + self.estimate
+            + self.credits
+            + self.auction
+            + self.distribute
+            + self.enforce
+        )
+
+
+@dataclass
+class ControllerReport:
+    """Everything one iteration observed and decided."""
+
+    t: float
+    samples: List[VCpuSample] = field(default_factory=list)
+    decisions: Dict[str, EstimatorDecision] = field(default_factory=dict)
+    allocations: Dict[str, float] = field(default_factory=dict)
+    market_initial: float = 0.0
+    auction: Optional[AuctionOutcome] = None
+    freely_distributed: float = 0.0
+    wallets: Dict[str, float] = field(default_factory=dict)
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    def vfreq_by_vm(self) -> Dict[str, float]:
+        """Average estimated virtual frequency per VM (for Figs. 6-9)."""
+        sums: Dict[str, List[float]] = {}
+        for s in self.samples:
+            sums.setdefault(s.vm_name, []).append(s.vfreq_mhz)
+        return {vm: sum(v) / len(v) for vm, v in sums.items()}
+
+
+class VirtualFrequencyController:
+    """Per-node controller instance."""
+
+    def __init__(
+        self,
+        fs: CgroupFS,
+        procfs: ProcFS,
+        sysfs: CpuFreqSysFS,
+        *,
+        num_cpus: int,
+        fmax_mhz: float,
+        config: Optional[ControllerConfig] = None,
+        machine_slice: str = "/machine.slice",
+    ) -> None:
+        self.config = config or ControllerConfig.paper_evaluation()
+        self.fs = fs
+        self.num_cpus = num_cpus
+        self.fmax_mhz = fmax_mhz
+        self.monitor = Monitor(
+            fs, procfs, sysfs, machine_slice=machine_slice, period_s=self.config.period_s
+        )
+        self.estimator = TrendEstimator(self.config)
+        self.ledger = CreditLedger(self.config)
+        self.enforcer = Enforcer(fs, self.config)
+        self._vm_vfreq: Dict[str, float] = {}
+        self._current_cap: Dict[str, float] = {}
+        self.reports: List[ControllerReport] = []
+        self.keep_reports: bool = True
+
+    # -- VM registry ------------------------------------------------------------
+
+    def register_vm(self, vm_name: str, vfreq_mhz: float) -> None:
+        """Declare a hosted VM's guaranteed virtual frequency."""
+        if vfreq_mhz <= 0:
+            raise ValueError("vfreq must be positive")
+        if vfreq_mhz > self.fmax_mhz:
+            raise ValueError(
+                f"guarantee {vfreq_mhz} MHz exceeds host F_MAX {self.fmax_mhz} MHz"
+            )
+        self._vm_vfreq[vm_name] = vfreq_mhz
+
+    def set_vfreq(self, vm_name: str, vfreq_mhz: float) -> None:
+        """Reconfigure a running VM's guaranteed virtual frequency.
+
+        This is the "dynamic" in the paper's title taken literally: the
+        customer can re-negotiate QoS without restarting the VM — the new
+        ``C_i`` (Eq. 2) takes effect at the next iteration.
+        """
+        if vm_name not in self._vm_vfreq:
+            raise KeyError(f"VM not registered: {vm_name}")
+        self.register_vm(vm_name, vfreq_mhz)
+
+    def unregister_vm(self, vm_name: str) -> None:
+        self._vm_vfreq.pop(vm_name, None)
+        self.ledger.forget(vm_name)
+        for path in [p for p in self._current_cap if f"/{vm_name}/" in p]:
+            self._current_cap.pop(path, None)
+            self.estimator.forget(path)
+            self.monitor.forget(path)
+
+    def guaranteed_cycles_of(self, vm_name: str) -> float:
+        """``C_i`` for one vCPU of the named VM (Eq. 2)."""
+        return guaranteed_cycles(
+            self.config.period_s, self._vm_vfreq[vm_name], self.fmax_mhz
+        )
+
+    # -- the control loop ----------------------------------------------------------
+
+    def tick(self, t: float) -> ControllerReport:
+        """One full iteration of the feedback loop at simulation time ``t``."""
+        cfg = self.config
+        p_us = period_us(cfg.period_s)
+        report = ControllerReport(t=t)
+
+        # Stage 1 — monitoring.
+        t0 = time.perf_counter()
+        samples = [s for s in self.monitor.sample() if s.vm_name in self._vm_vfreq]
+        report.samples = samples
+        report.timings.monitor = time.perf_counter() - t0
+
+        # Stage 2 — estimation (history always updated, even in config A,
+        # so enabling control mid-run has warm state).
+        t0 = time.perf_counter()
+        for s in samples:
+            self.estimator.observe(s.cgroup_path, s.consumed_cycles)
+        if not cfg.control_enabled:
+            report.timings.estimate = time.perf_counter() - t0
+            self._finish(report)
+            return report
+        decisions: Dict[str, EstimatorDecision] = {}
+        for s in samples:
+            cap = self._current_cap.get(s.cgroup_path, p_us)
+            decisions[s.cgroup_path] = self.estimator.decide(s.cgroup_path, cap)
+        report.decisions = decisions
+        report.timings.estimate = time.perf_counter() - t0
+
+        # Stage 3 — credits (Eq. 4) and base capping (Eq. 5).
+        t0 = time.perf_counter()
+        consumed_by_vm: Dict[str, List[float]] = {}
+        vm_of: Dict[str, str] = {}
+        guarantees: Dict[str, float] = {}
+        for s in samples:
+            consumed_by_vm.setdefault(s.vm_name, []).append(s.consumed_cycles)
+            vm_of[s.cgroup_path] = s.vm_name
+            guarantees[s.cgroup_path] = self.guaranteed_cycles_of(s.vm_name)
+        for vm_name, consumed in consumed_by_vm.items():
+            self.ledger.accrue(
+                vm_name, consumed, self.guaranteed_cycles_of(vm_name)
+            )
+        estimates = {path: d.estimate_cycles for path, d in decisions.items()}
+        base = apply_base_capping(estimates, guarantees)
+        allocations = {path: b.cycles for path, b in base.items()}
+        if cfg.reserve_guarantee:
+            # Extension: pin the floor at C_i so a waking vCPU never
+            # ramps from below its guarantee (waste-for-SLA trade).
+            for path in allocations:
+                allocations[path] = max(allocations[path], guarantees[path])
+        report.timings.credits = time.perf_counter() - t0
+
+        # Stage 4 — auction (Eq. 6 + Algorithm 1).
+        t0 = time.perf_counter()
+        total_cycles = cycles_per_period(cfg.period_s, self.num_cpus)
+        market = compute_market(total_cycles, allocations)
+        report.market_initial = market
+        residual = {
+            path: min(estimates[path], p_us) - allocations[path]
+            for path in allocations
+            if estimates[path] > allocations[path]
+        }
+        window = cfg.auction_window_frac * p_us
+        priorities = (
+            {vm: self._vm_vfreq[vm] for vm in consumed_by_vm}
+            if cfg.auction_priority == "frequency"
+            else None
+        )
+        outcome = run_auction(
+            market, residual, vm_of, self.ledger, window, priorities=priorities
+        )
+        for path, bought in outcome.purchased.items():
+            allocations[path] += bought
+            residual[path] -= bought
+        report.auction = outcome
+        report.timings.auction = time.perf_counter() - t0
+
+        # Stage 5 — free distribution of what the auction could not sell.
+        t0 = time.perf_counter()
+        leftovers = distribute_leftovers(outcome.market_left, residual)
+        for path, extra in leftovers.items():
+            allocations[path] += extra
+        report.freely_distributed = sum(leftovers.values())
+        report.timings.distribute = time.perf_counter() - t0
+
+        # Stage 6 — apply the capping.
+        t0 = time.perf_counter()
+        for path in allocations:
+            allocations[path] = min(allocations[path], p_us)
+        self.enforcer.apply(allocations)
+        self._current_cap.update(allocations)
+        report.allocations = allocations
+        report.timings.enforce = time.perf_counter() - t0
+
+        self._finish(report)
+        return report
+
+    def _finish(self, report: ControllerReport) -> None:
+        report.wallets = self.ledger.wallets()
+        if self.keep_reports:
+            self.reports.append(report)
+
+    # -- reporting helpers ----------------------------------------------------------
+
+    def mean_iteration_seconds(self) -> float:
+        """Average wall-clock cost of an iteration (§IV-A2 overhead)."""
+        if not self.reports:
+            return 0.0
+        return sum(r.timings.total for r in self.reports) / len(self.reports)

@@ -1,0 +1,34 @@
+"""Stage 5 — free distribution of still-unallocated cycles (paper §III-B5).
+
+The auction stops when no buyer can pay; whatever is left in the market
+would be wasted, so it is given away to vCPUs whose allocation is still
+below their estimate, proportionally to each one's share of the total
+residual demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.sched.fairshare import proportional_share
+
+
+def distribute_leftovers(
+    market_left: float,
+    residual_demands: Mapping[str, float],
+) -> Dict[str, float]:
+    """Give away ``market_left`` cycles proportionally to residual demand.
+
+    Returns extra cycles per vCPU path; never exceeds any vCPU's residual
+    demand and never hands out more than ``market_left`` in total.
+    """
+    if market_left < 0:
+        raise ValueError("market_left must be >= 0")
+    paths = [p for p, need in residual_demands.items() if need > 1e-9]
+    if not paths or market_left <= 0:
+        return {}
+    needs = np.asarray([residual_demands[p] for p in paths], dtype=np.float64)
+    shares = proportional_share(market_left, needs)
+    return {path: float(share) for path, share in zip(paths, shares) if share > 0}

@@ -1,0 +1,85 @@
+"""Stage 6 — applying vCPU capping (paper §III-B6).
+
+Translates a cycle allocation (µs of CPU per controller period ``p``)
+into a cgroup bandwidth quota and writes it:
+
+* v2 — ``echo "<quota> <period>" > cpu.max``
+* v1 — ``echo <quota> > cpu.cfs_quota_us`` (+ period file)
+
+The cgroup enforcement period (default 100 ms) is shorter than the
+controller period, so the quota is the allocation scaled by
+``enforcement_period / p``.  The kernel rejects quotas below 1 ms; the
+enforcer floors writes accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.core.config import ControllerConfig
+from repro.core.units import period_us
+
+#: Kernel minimum cpu.max quota, microseconds.
+MIN_QUOTA_US = 1_000
+
+
+class Enforcer:
+    """Writes cycle allocations as cgroup quotas."""
+
+    def __init__(self, fs: CgroupFS, config: ControllerConfig) -> None:
+        self.fs = fs
+        self.config = config
+        self._last_written: Dict[str, int] = {}
+
+    def apply(self, allocations: Mapping[str, float]) -> Dict[str, int]:
+        """Write every vCPU's allocation; returns quotas written (µs).
+
+        A vCPU cgroup may vanish between stages of the same iteration
+        (VM teardown races the loop on a real host); such paths are
+        skipped silently, like a production controller must.
+        """
+        written: Dict[str, int] = {}
+        for path, cycles in allocations.items():
+            try:
+                written[path] = self.apply_one(path, cycles)
+            except FileNotFoundError:
+                self._last_written.pop(path, None)
+        return written
+
+    def apply_one(self, vcpu_path: str, cycles: float) -> int:
+        """Cap one vCPU at ``cycles`` per controller period."""
+        if cycles < 0:
+            raise ValueError(f"negative allocation for {vcpu_path}: {cycles}")
+        quota = self.quota_us(cycles)
+        period = self.config.enforcement_period_us
+        if self.fs.version is CgroupVersion.V2:
+            self.fs.write(f"{vcpu_path}/cpu.max", f"{quota} {period}")
+        else:
+            self.fs.write(f"{vcpu_path}/cpu.cfs_period_us", str(period))
+            self.fs.write(f"{vcpu_path}/cpu.cfs_quota_us", str(quota))
+        self._last_written[vcpu_path] = quota
+        return quota
+
+    def uncap(self, vcpu_path: str) -> None:
+        """Remove the bandwidth limit (configuration A / teardown)."""
+        period = self.config.enforcement_period_us
+        if self.fs.version is CgroupVersion.V2:
+            self.fs.write(f"{vcpu_path}/cpu.max", f"max {period}")
+        else:
+            self.fs.write(f"{vcpu_path}/cpu.cfs_quota_us", "-1")
+        self._last_written.pop(vcpu_path, None)
+
+    def quota_us(self, cycles: float) -> int:
+        """Scale a per-period cycle count to the enforcement period."""
+        p_us = period_us(self.config.period_s)
+        scaled = cycles * self.config.enforcement_period_us / p_us
+        return max(MIN_QUOTA_US, int(round(scaled)))
+
+    def cycles_written(self, vcpu_path: str) -> float:
+        """Invert :meth:`quota_us` for the last write (controller state)."""
+        quota = self._last_written.get(vcpu_path)
+        if quota is None:
+            return float("nan")
+        p_us = period_us(self.config.period_s)
+        return quota * p_us / self.config.enforcement_period_us

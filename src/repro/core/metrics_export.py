@@ -1,0 +1,85 @@
+"""Prometheus exposition-format export of controller state.
+
+A production controller is scraped, not printed.  This renders the
+latest :class:`~repro.core.controller.ControllerReport` (plus wallets
+and config) as the Prometheus text format, ready to serve from a
+``/metrics`` endpoint:
+
+    vfreq_vcpu_consumed_cycles{vm="small-0",vcpu="0"} 208211
+    vfreq_vcpu_allocated_cycles{vm="small-0",vcpu="0"} 208333
+    vfreq_vcpu_estimated_mhz{vm="small-0",vcpu="0"} 499.7
+    vfreq_vm_credit_cycles{vm="small-0"} 1.25e+06
+    vfreq_market_initial_cycles 1666667
+    vfreq_iteration_seconds{stage="monitor"} 0.0021
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.controller import ControllerReport, VirtualFrequencyController
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _line(name: str, value: float, **labels: str) -> str:
+    if labels:
+        inner = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+        return f"{name}{{{inner}}} {value:g}"
+    return f"{name} {value:g}"
+
+
+def render_report(report: ControllerReport) -> str:
+    """Render one iteration's observations and decisions."""
+    lines: List[str] = [
+        "# HELP vfreq_vcpu_consumed_cycles Cycles consumed last period (us).",
+        "# TYPE vfreq_vcpu_consumed_cycles gauge",
+    ]
+    for s in report.samples:
+        labels = {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}
+        lines.append(_line("vfreq_vcpu_consumed_cycles", s.consumed_cycles, **labels))
+    lines += [
+        "# HELP vfreq_vcpu_estimated_mhz Estimated virtual frequency.",
+        "# TYPE vfreq_vcpu_estimated_mhz gauge",
+    ]
+    for s in report.samples:
+        labels = {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}
+        lines.append(_line("vfreq_vcpu_estimated_mhz", s.vfreq_mhz, **labels))
+    if report.allocations:
+        lines += [
+            "# HELP vfreq_vcpu_allocated_cycles Capping applied this period (us).",
+            "# TYPE vfreq_vcpu_allocated_cycles gauge",
+        ]
+        for s in report.samples:
+            alloc = report.allocations.get(s.cgroup_path)
+            if alloc is None:
+                continue
+            labels = {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}
+            lines.append(_line("vfreq_vcpu_allocated_cycles", alloc, **labels))
+    lines += [
+        "# HELP vfreq_vm_credit_cycles Auction wallet balance.",
+        "# TYPE vfreq_vm_credit_cycles gauge",
+    ]
+    for vm, balance in sorted(report.wallets.items()):
+        lines.append(_line("vfreq_vm_credit_cycles", balance, vm=vm))
+    lines += [
+        "# HELP vfreq_market_initial_cycles Unallocated cycles before the auction.",
+        "# TYPE vfreq_market_initial_cycles gauge",
+        _line("vfreq_market_initial_cycles", report.market_initial),
+        "# HELP vfreq_iteration_seconds Wall time of each controller stage.",
+        "# TYPE vfreq_iteration_seconds gauge",
+    ]
+    for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
+        lines.append(
+            _line("vfreq_iteration_seconds", getattr(report.timings, stage), stage=stage)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_controller(controller: VirtualFrequencyController) -> str:
+    """Render the controller's most recent iteration (empty host ok)."""
+    if not controller.reports:
+        return render_report(ControllerReport(t=0.0))
+    return render_report(controller.reports[-1])

@@ -1,0 +1,73 @@
+"""Controller state snapshot / restore.
+
+A host-side controller restarts (upgrades, crashes) without the VMs
+going anywhere.  Restarting the paper's controller cold would forget
+every credit wallet — a frugal VM's accumulated purchasing power — and
+every consumption history, so the first iterations after a restart would
+misprice the auction.  Snapshots capture the controller's entire mutable
+state as a JSON-serialisable dict; restoring onto a fresh instance
+resumes control exactly where the old one stopped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.core.controller import VirtualFrequencyController
+
+#: Schema version for forwards compatibility.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot(controller: VirtualFrequencyController) -> Dict:
+    """Capture all mutable controller state."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "vm_vfreq": dict(controller._vm_vfreq),
+        "wallets": controller.ledger.wallets(),
+        "current_caps": dict(controller._current_cap),
+        "histories": {
+            path: list(hist)
+            for path, hist in controller.estimator._history.items()
+        },
+        "prev_usage": dict(controller.monitor._prev_usage),
+    }
+
+
+def to_json(controller: VirtualFrequencyController) -> str:
+    """Snapshot as a JSON string (what an operator would persist)."""
+    return json.dumps(snapshot(controller), sort_keys=True)
+
+
+def restore(controller: VirtualFrequencyController, state: Dict) -> None:
+    """Load a snapshot into a (typically fresh) controller instance.
+
+    The controller's configuration is *not* part of the snapshot — the
+    operator may restart with new knobs; only dynamic state is restored.
+    """
+    version = state.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    for vm_name, vfreq in state["vm_vfreq"].items():
+        controller.register_vm(vm_name, float(vfreq))
+    for vm_name, balance in state["wallets"].items():
+        if balance < 0:
+            raise ValueError(f"corrupt snapshot: negative wallet for {vm_name}")
+        controller.ledger._wallets[vm_name] = float(balance)
+    controller._current_cap.update(
+        {path: float(c) for path, c in state["current_caps"].items()}
+    )
+    for path, history in state["histories"].items():
+        for value in history:
+            controller.estimator.observe(path, float(value))
+    controller.monitor._prev_usage.update(
+        {path: float(u) for path, u in state["prev_usage"].items()}
+    )
+
+
+def from_json(controller: VirtualFrequencyController, payload: str) -> None:
+    restore(controller, json.loads(payload))

@@ -1,0 +1,59 @@
+"""Cycle/frequency conversions (paper Eqs. 1 and 2).
+
+A *cycle* is one microsecond of CPU time inside one controller period
+``p`` (paper §III-A).  With ``p`` in seconds:
+
+* ``C_m^MAX = p_us * k_m^CPU``                      (Eq. 1)
+* ``C_i    = p_us * F_v / F_n^MAX``  per vCPU        (Eq. 2)
+
+so a vCPU holding exactly ``C_i`` cycles of CPU time per period runs at
+virtual frequency ``F_v`` — the strict cycles<->frequency relation the
+evaluation verifies.
+"""
+
+from __future__ import annotations
+
+US_PER_S = 1_000_000
+
+
+def period_us(p_seconds: float) -> float:
+    """Controller period expressed in microseconds (= cycles per core)."""
+    if p_seconds <= 0:
+        raise ValueError(f"period must be positive, got {p_seconds}")
+    return p_seconds * US_PER_S
+
+
+def cycles_per_period(p_seconds: float, num_cpus: int) -> float:
+    """Eq. 1: the node's total cycle budget ``C_m^MAX`` per period."""
+    if num_cpus <= 0:
+        raise ValueError(f"num_cpus must be positive, got {num_cpus}")
+    return period_us(p_seconds) * num_cpus
+
+
+def guaranteed_cycles(p_seconds: float, vfreq_mhz: float, fmax_mhz: float) -> float:
+    """Eq. 2: cycles per period guaranteeing ``vfreq_mhz`` on this host.
+
+    Requires ``vfreq <= fmax`` (a guarantee above the host's peak is
+    unsatisfiable; admission control rejects such placements).
+    """
+    if vfreq_mhz <= 0:
+        raise ValueError(f"vfreq must be positive, got {vfreq_mhz}")
+    if fmax_mhz <= 0:
+        raise ValueError(f"fmax must be positive, got {fmax_mhz}")
+    if vfreq_mhz > fmax_mhz:
+        raise ValueError(
+            f"virtual frequency {vfreq_mhz} MHz exceeds host F_MAX {fmax_mhz} MHz"
+        )
+    return period_us(p_seconds) * vfreq_mhz / fmax_mhz
+
+
+def cycles_to_mhz(cycles: float, p_seconds: float, fmax_mhz: float) -> float:
+    """Invert Eq. 2: the virtual frequency a cycle allocation corresponds to."""
+    if cycles < 0:
+        raise ValueError(f"cycles must be >= 0, got {cycles}")
+    return cycles / period_us(p_seconds) * fmax_mhz
+
+
+def mhz_to_cycles(vfreq_mhz: float, p_seconds: float, fmax_mhz: float) -> float:
+    """Alias of :func:`guaranteed_cycles` with argument order matching use sites."""
+    return guaranteed_cycles(p_seconds, vfreq_mhz, fmax_mhz)

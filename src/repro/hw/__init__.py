@@ -1,0 +1,19 @@
+"""Hardware models: CPUs with DVFS, nodes (Table IV), energy, clusters."""
+
+from repro.hw.cpu import DvfsModel
+from repro.hw.nodespecs import NodeSpec, CHETEMI, CHICLET, spec_by_name
+from repro.hw.node import Node
+from repro.hw.energy import PowerModel, EnergyMeter
+from repro.hw.cluster import Cluster
+
+__all__ = [
+    "DvfsModel",
+    "NodeSpec",
+    "CHETEMI",
+    "CHICLET",
+    "spec_by_name",
+    "Node",
+    "PowerModel",
+    "EnergyMeter",
+    "Cluster",
+]

@@ -1,0 +1,81 @@
+"""A cluster of nodes (used by the placement study, paper §IV-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.hw.nodespecs import NodeSpec
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """One placement slot: a named physical machine of a given spec."""
+
+    node_id: str
+    spec: NodeSpec
+
+
+class Cluster:
+    """Static cluster description for placement experiments.
+
+    The §IV-C cluster is ``Cluster.paper_cluster()``: 12 chetemi and
+    10 chiclet machines.
+    """
+
+    def __init__(self, nodes: Iterable[ClusterNode]) -> None:
+        self._nodes: List[ClusterNode] = list(nodes)
+        ids = [n.node_id for n in self._nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids in cluster")
+
+    @classmethod
+    def homogeneous(cls, spec: NodeSpec, count: int, prefix: str = "") -> "Cluster":
+        prefix = prefix or spec.name
+        return cls(ClusterNode(f"{prefix}-{i}", spec) for i in range(count))
+
+    @classmethod
+    def from_counts(cls, counts: Dict[NodeSpec, int]) -> "Cluster":
+        nodes: List[ClusterNode] = []
+        for spec, count in counts.items():
+            if count < 0:
+                raise ValueError("negative node count")
+            nodes.extend(ClusterNode(f"{spec.name}-{i}", spec) for i in range(count))
+        return cls(nodes)
+
+    @classmethod
+    def paper_cluster(cls) -> "Cluster":
+        """The §IV-C evaluation cluster: 12 chetemi + 10 chiclet."""
+        from repro.hw.nodespecs import CHETEMI, CHICLET
+
+        return cls.from_counts({CHETEMI: 12, CHICLET: 10})
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[ClusterNode]:
+        return iter(self._nodes)
+
+    @property
+    def nodes(self) -> List[ClusterNode]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> ClusterNode:
+        for n in self._nodes:
+            if n.node_id == node_id:
+                return n
+        raise KeyError(f"no such node: {node_id}")
+
+    def total_capacity_mhz(self) -> float:
+        return sum(n.spec.capacity_mhz for n in self._nodes)
+
+    def total_logical_cpus(self) -> int:
+        return sum(n.spec.logical_cpus for n in self._nodes)
+
+    def by_spec(self) -> List[Tuple[NodeSpec, int]]:
+        """Counts per spec, in first-appearance order."""
+        counts: Dict[str, Tuple[NodeSpec, int]] = {}
+        for n in self._nodes:
+            spec, cnt = counts.get(n.spec.name, (n.spec, 0))
+            counts[n.spec.name] = (spec, cnt + 1)
+        return list(counts.values())

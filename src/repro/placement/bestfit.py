@@ -1,0 +1,80 @@
+"""BestFit placement — the heuristic evaluated in §IV-C.
+
+Each VM is assigned to the *used* node with the least remaining headroom
+that still fits it (tightest fit first); a new node is opened only when
+no used node can take the VM.  Placing big VMs first
+(``sort_requests=True``, the standard BFD variant) is the default, as
+bin-packing heuristics degrade badly on adversarial orders otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.hw.cluster import Cluster
+from repro.placement.constraints import Constraint, NodeUsage
+from repro.placement.evaluator import Placement
+from repro.placement.request import PlacementRequest
+
+
+class BestFit:
+    """Best-fit (decreasing) heuristic under a pluggable constraint."""
+
+    def __init__(self, constraint: Constraint, *, sort_requests: bool = True) -> None:
+        self.constraint = constraint
+        self.sort_requests = sort_requests
+
+    def place(
+        self, cluster: Cluster, requests: Sequence[PlacementRequest]
+    ) -> Placement:
+        placement = Placement(cluster=cluster)
+        usage: Dict[str, NodeUsage] = {n.node_id: NodeUsage() for n in cluster}
+        opened: List[str] = []
+
+        todo = list(requests)
+        if self.sort_requests:
+            todo.sort(key=lambda r: (-r.demand_mhz, -r.vcpus, r.vm_name))
+
+        for request in todo:
+            best_id = None
+            best_headroom = float("inf")
+            for node_id in opened:
+                node = cluster.node(node_id)
+                if not self.constraint.fits(node.spec, usage[node_id], request):
+                    continue
+                headroom = self.constraint.headroom(node.spec, usage[node_id])
+                if headroom < best_headroom:
+                    best_headroom = headroom
+                    best_id = node_id
+            if best_id is None:
+                best_id = self._open_node(cluster, usage, opened, request)
+            if best_id is None:
+                placement.unplaced.append(request)
+                continue
+            usage[best_id].add(request)
+            placement.assign(best_id, request)
+        return placement
+
+    def _open_node(
+        self,
+        cluster: Cluster,
+        usage: Dict[str, NodeUsage],
+        opened: List[str],
+        request: PlacementRequest,
+    ) -> str:
+        """Open the unused node with the *smallest* sufficient capacity
+        (keeps big nodes for big demand; deterministic tie-break by id)."""
+        candidates = [
+            n
+            for n in cluster
+            if n.node_id not in opened
+            and self.constraint.fits(n.spec, usage[n.node_id], request)
+        ]
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda n: (self.constraint.headroom(n.spec, usage[n.node_id]), n.node_id)
+        )
+        chosen = candidates[0].node_id
+        opened.append(chosen)
+        return chosen

@@ -1,0 +1,101 @@
+"""Placement results and their evaluation (§IV-C metrics).
+
+The paper reports: nodes used, VM counts on the hottest nodes, and the
+energy projection of shutting the unused nodes down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.cluster import Cluster, ClusterNode
+from repro.hw.energy import PowerModel
+from repro.placement.constraints import NodeUsage
+from repro.placement.request import PlacementRequest
+
+
+@dataclass
+class Placement:
+    """Assignment of requests to cluster nodes."""
+
+    cluster: Cluster
+    assignments: Dict[str, List[PlacementRequest]] = field(default_factory=dict)
+    unplaced: List[PlacementRequest] = field(default_factory=list)
+
+    def assign(self, node_id: str, request: PlacementRequest) -> None:
+        self.assignments.setdefault(node_id, []).append(request)
+
+    def usage_of(self, node_id: str) -> NodeUsage:
+        usage = NodeUsage()
+        for request in self.assignments.get(node_id, []):
+            usage.add(request)
+        return usage
+
+    @property
+    def nodes_used(self) -> int:
+        return sum(1 for reqs in self.assignments.values() if reqs)
+
+    def vm_count(self, node_id: str) -> int:
+        return len(self.assignments.get(node_id, []))
+
+    def vm_count_by_template(self, node_id: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for request in self.assignments.get(node_id, []):
+            counts[request.template.name] = counts.get(request.template.name, 0) + 1
+        return counts
+
+    def max_vms_of_template_on_spec(self, template_name: str, spec_name: str) -> int:
+        """Hottest-node statistic the paper quotes (e.g. 21 large on a chiclet)."""
+        best = 0
+        for node in self.cluster:
+            if node.spec.name != spec_name:
+                continue
+            best = max(best, self.vm_count_by_template(node.node_id).get(template_name, 0))
+        return best
+
+
+@dataclass(frozen=True)
+class PlacementStats:
+    """Summary of one placement run."""
+
+    nodes_total: int
+    nodes_used: int
+    unplaced: int
+    max_mhz_load_fraction: float
+    idle_power_saved_w: float
+
+    @property
+    def nodes_free(self) -> int:
+        return self.nodes_total - self.nodes_used
+
+
+def evaluate(placement: Placement) -> PlacementStats:
+    """Compute the §IV-C summary statistics for a placement."""
+    used_ids = {nid for nid, reqs in placement.assignments.items() if reqs}
+    max_load = 0.0
+    for node in placement.cluster:
+        usage = placement.usage_of(node.node_id)
+        if node.spec.capacity_mhz > 0:
+            max_load = max(max_load, usage.demand_mhz / node.spec.capacity_mhz)
+    idle_saved = sum(
+        PowerModel.for_spec(node.spec).idle_w
+        for node in placement.cluster
+        if node.node_id not in used_ids
+    )
+    return PlacementStats(
+        nodes_total=len(placement.cluster),
+        nodes_used=len(used_ids),
+        unplaced=len(placement.unplaced),
+        max_mhz_load_fraction=max_load,
+        idle_power_saved_w=idle_saved,
+    )
+
+
+def nodes_by_spec_used(placement: Placement) -> Dict[str, int]:
+    """How many nodes of each spec ended up hosting VMs."""
+    counts: Dict[str, int] = {}
+    for node in placement.cluster:
+        if placement.assignments.get(node.node_id):
+            counts[node.spec.name] = counts.get(node.spec.name, 0) + 1
+    return counts

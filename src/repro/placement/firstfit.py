@@ -1,0 +1,32 @@
+"""FirstFit placement: each VM goes to the first node it fits on."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.hw.cluster import Cluster
+from repro.placement.constraints import Constraint, NodeUsage
+from repro.placement.evaluator import Placement
+from repro.placement.request import PlacementRequest
+
+
+class FirstFit:
+    """Classic first-fit heuristic under a pluggable constraint."""
+
+    def __init__(self, constraint: Constraint) -> None:
+        self.constraint = constraint
+
+    def place(
+        self, cluster: Cluster, requests: Sequence[PlacementRequest]
+    ) -> Placement:
+        placement = Placement(cluster=cluster)
+        usage: Dict[str, NodeUsage] = {n.node_id: NodeUsage() for n in cluster}
+        for request in requests:
+            for node in cluster:
+                if self.constraint.fits(node.spec, usage[node.node_id], request):
+                    usage[node.node_id].add(request)
+                    placement.assign(node.node_id, request)
+                    break
+            else:
+                placement.unplaced.append(request)
+        return placement

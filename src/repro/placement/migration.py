@@ -1,0 +1,112 @@
+"""Live-migration model and threshold-based consolidation policy.
+
+The paper's position (§I, §II, §IV-C) is that providers compensate for
+uncontrolled vCPU speeds with *migrations*: when a node overloads, VMs
+are moved elsewhere, costing downtime and network traffic.  To compare
+against that state of the art, this module provides the machinery the
+paper's related work describes:
+
+* :class:`MigrationModel` — a pre-copy live-migration cost model: a VM's
+  transfer time is RAM size over link bandwidth (times a dirty-page
+  overhead factor), with a short stop-and-copy pause at the end during
+  which the VM makes no progress.
+* :class:`ThresholdMigrationPolicy` — classic reactive consolidation:
+  when a node's demand stays above a high watermark, move its smallest
+  relieving VM to the least-loaded node with room (by the vCPU-count
+  rule — the constraint this management style uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MigrationModel:
+    """Cost model for one live migration."""
+
+    link_gbps: float = 10.0
+    dirty_page_overhead: float = 1.3  # pre-copy retransmissions
+    downtime_s: float = 0.5  # stop-and-copy pause
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise ValueError("link_gbps must be positive")
+        if self.dirty_page_overhead < 1.0:
+            raise ValueError("dirty_page_overhead must be >= 1")
+        if self.downtime_s < 0:
+            raise ValueError("downtime_s must be >= 0")
+
+    def transfer_seconds(self, memory_mb: int) -> float:
+        """Wall time to copy the VM's RAM across the link."""
+        if memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        bits = memory_mb * 8e6 * self.dirty_page_overhead
+        return bits / (self.link_gbps * 1e9)
+
+    def total_seconds(self, memory_mb: int) -> float:
+        return self.transfer_seconds(memory_mb) + self.downtime_s
+
+
+@dataclass
+class MigrationEvent:
+    """One recorded migration."""
+
+    t: float
+    vm_name: str
+    source: str
+    target: str
+    duration_s: float
+
+
+@dataclass
+class ThresholdMigrationPolicy:
+    """Reactive overload-triggered migration.
+
+    A node is *overloaded* when the CPU demand of its hosted vCPUs (in
+    fractional cores, i.e. demanded cores / logical CPUs) exceeds
+    ``high_watermark`` for ``patience`` consecutive checks.  The policy
+    then proposes to move the smallest VM whose departure brings the
+    node back under the watermark to the least-loaded node that can
+    still take it.
+    """
+
+    high_watermark: float = 1.0
+    patience: int = 3
+    _strikes: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.high_watermark <= 0:
+            raise ValueError("high_watermark must be positive")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+    def observe(self, node_id: str, demand_load: float) -> bool:
+        """Record one load sample; True when the node trips the policy."""
+        if demand_load > self.high_watermark:
+            self._strikes[node_id] = self._strikes.get(node_id, 0) + 1
+        else:
+            self._strikes[node_id] = 0
+        return self._strikes[node_id] >= self.patience
+
+    def reset(self, node_id: str) -> None:
+        self._strikes[node_id] = 0
+
+    @staticmethod
+    def pick_victim(
+        vms: List[Tuple[str, int, float]],
+        overload_cores: float,
+    ) -> Optional[str]:
+        """Choose the VM to evict.
+
+        ``vms`` are (name, vcpus, demanded_cores) of the node's VMs;
+        prefer the smallest VM whose demand covers the overload, falling
+        back to the largest if none alone suffices.
+        """
+        if not vms:
+            return None
+        covering = [v for v in vms if v[2] >= overload_cores]
+        if covering:
+            return min(covering, key=lambda v: (v[2], v[0]))[0]
+        return max(vms, key=lambda v: (v[2], v[0]))[0]

@@ -1,0 +1,54 @@
+"""Placement requests: VMs waiting to be assigned to nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.virt.template import VMTemplate
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One VM to place."""
+
+    vm_name: str
+    template: VMTemplate
+
+    @property
+    def vcpus(self) -> int:
+        return self.template.vcpus
+
+    @property
+    def demand_mhz(self) -> float:
+        """``k_i^vCPU * F_i`` — the Eq. 7 left-hand-side contribution."""
+        return self.template.demand_mhz
+
+    @property
+    def memory_mb(self) -> int:
+        return self.template.memory_mb
+
+
+def expand_requests(
+    mix: Iterable[Tuple[VMTemplate, int]],
+) -> List[PlacementRequest]:
+    """Expand (template, count) pairs into individual requests.
+
+    The §IV-C workload is
+    ``expand_requests([(SMALL, 250), (MEDIUM, 50), (LARGE, 100)])``.
+    """
+    requests: List[PlacementRequest] = []
+    for template, count in mix:
+        if count < 0:
+            raise ValueError(f"negative count for template {template.name}")
+        requests.extend(
+            PlacementRequest(f"{template.name}-{k}", template) for k in range(count)
+        )
+    return requests
+
+
+def paper_workload() -> List[PlacementRequest]:
+    """The §IV-C placement workload: 250 small + 50 medium + 100 large."""
+    from repro.virt.template import LARGE, MEDIUM, SMALL
+
+    return expand_requests([(SMALL, 250), (MEDIUM, 50), (LARGE, 100)])

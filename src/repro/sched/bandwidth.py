@@ -1,0 +1,48 @@
+"""CFS bandwidth control bookkeeping.
+
+The kernel enforces ``cpu.max`` per enforcement period (default 100 ms):
+a cgroup may consume at most ``quota_us`` of CPU time per ``period_us``
+of wall time, across all its threads.  At the sub-tick granularity of the
+simulator the enforcement is rate-based — a cgroup's cap for a tick of
+``dt`` wall-seconds is ``ratio * dt`` CPU-seconds, where ``ratio`` is
+``quota/period`` — which is the steady-state behaviour of the kernel's
+per-period token refill and matches what a 1 Hz controller observes.
+
+Throttle statistics (``nr_periods``/``nr_throttled``) are still counted
+per *kernel* period so ``cpu.stat`` looks like the real file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgroups.cpu import QuotaSpec
+
+
+@dataclass
+class BandwidthState:
+    """Per-cgroup bandwidth enforcement state."""
+
+    quota: QuotaSpec
+    wall_elapsed_us: float = 0.0
+    periods_accounted: int = 0
+
+    def cap_for(self, dt: float) -> float:
+        """CPU-seconds this cgroup may consume during ``dt`` wall-seconds."""
+        if dt < 0:
+            raise ValueError("negative dt")
+        ratio = self.quota.ratio()
+        if ratio == float("inf"):
+            return float("inf")
+        return ratio * dt
+
+    def elapsed_periods(self, dt: float) -> int:
+        """Advance wall time; return how many enforcement periods completed.
+
+        Used to emit ``nr_periods`` increments at the kernel's cadence.
+        """
+        self.wall_elapsed_us += dt * 1e6
+        total = int(self.wall_elapsed_us // self.quota.period_us)
+        fresh = total - self.periods_accounted
+        self.periods_accounted = total
+        return fresh

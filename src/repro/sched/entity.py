@@ -1,0 +1,37 @@
+"""Scheduling entities: the leaf threads the scheduler dispatches.
+
+Each vCPU is exactly one kernel thread (KVM model); the scheduler sees a
+flat list of :class:`SchedEntity` leaves grouped by their cgroup path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SchedEntity:
+    """One runnable thread.
+
+    ``demand`` is the fraction of one core the thread wants this tick
+    (set by the workload model each step); ``allocated`` is what the
+    scheduler granted (CPU-seconds).
+    """
+
+    tid: int
+    cgroup_path: str
+    weight: float = 1.0
+    demand: float = 0.0
+    allocated: float = 0.0
+    total_cpu_seconds: float = field(default=0.0, repr=False)
+
+    def set_demand(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"demand must be in [0, 1], got {fraction}")
+        self.demand = fraction
+
+    def grant(self, cpu_seconds: float) -> None:
+        if cpu_seconds < 0:
+            raise ValueError("negative grant")
+        self.allocated = cpu_seconds
+        self.total_cpu_seconds += cpu_seconds

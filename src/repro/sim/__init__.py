@@ -1,0 +1,34 @@
+"""Discrete-time simulation engine, scenario builders and metrics."""
+
+from repro.sim.metrics import TimeSeries, MetricsRecorder
+from repro.sim.engine import Simulation
+from repro.sim.scenario import (
+    Scenario,
+    ScenarioResult,
+    VMGroup,
+    eval1_chetemi,
+    eval1_chiclet,
+    eval2_chetemi,
+)
+from repro.sim.report import render_table, series_to_rows
+from repro.sim.cluster_engine import ClusterSimulation, NodeRuntime
+from repro.sim.arrivals import ArrivalEvent, CloudOperator, generate_arrivals
+
+__all__ = [
+    "TimeSeries",
+    "MetricsRecorder",
+    "Simulation",
+    "Scenario",
+    "ScenarioResult",
+    "VMGroup",
+    "eval1_chetemi",
+    "eval1_chiclet",
+    "eval2_chetemi",
+    "render_table",
+    "series_to_rows",
+    "ClusterSimulation",
+    "NodeRuntime",
+    "ArrivalEvent",
+    "CloudOperator",
+    "generate_arrivals",
+]

@@ -1,0 +1,146 @@
+"""Discrete-time simulation loop.
+
+Each sub-tick of ``dt`` seconds:
+
+1. workloads push per-vCPU demand into the scheduling entities;
+2. the node steps: CFS distributes CPU time under the current quotas,
+   accounting/affinity/DVFS/energy surfaces refresh;
+3. workloads absorb their achieved progress (CPU-seconds x core MHz);
+4. on controller-period boundaries, the controller runs one iteration
+   against the node's kernel surfaces, and metrics are recorded.
+
+The controller period must be an integer multiple of ``dt``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.controller import ControllerReport, VirtualFrequencyController
+from repro.hw.node import Node
+from repro.sim.metrics import MetricsRecorder
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.vm import VMInstance
+
+
+class Simulation:
+    """One node, its VMs/workloads, and (optionally) the controller."""
+
+    def __init__(
+        self,
+        node: Node,
+        hypervisor: Hypervisor,
+        *,
+        controller: Optional[VirtualFrequencyController] = None,
+        dt: float = 0.5,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if controller is not None:
+            ratio = controller.config.period_s / dt
+            if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+                raise ValueError(
+                    f"controller period {controller.config.period_s}s must be an "
+                    f"integer multiple of dt={dt}s"
+                )
+        self.node = node
+        self.hypervisor = hypervisor
+        self.controller = controller
+        self.dt = dt
+        self.metrics = metrics or MetricsRecorder()
+        self.t = 0.0
+        self._subticks = 0
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(
+        self,
+        duration: float,
+        *,
+        on_report: Optional[Callable[[ControllerReport], None]] = None,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Advance the simulation by ``duration`` seconds.
+
+        ``until`` (checked each controller period) may stop the run early
+        — e.g. "all workloads finished".
+        """
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        steps = int(round(duration / self.dt))
+        ticks_per_period = (
+            int(round(self.controller.config.period_s / self.dt))
+            if self.controller
+            else None
+        )
+        for _ in range(steps):
+            self._set_demands()
+            self.node.step(self.dt)
+            self._absorb_progress()
+            self.t += self.dt
+            self._subticks += 1
+            self._record_actuals()
+            if ticks_per_period and self._subticks % ticks_per_period == 0:
+                report = self.controller.tick(self.t)
+                self._record_report(report)
+                if on_report is not None:
+                    on_report(report)
+                if until is not None and until():
+                    return
+
+    # -- phases of one sub-tick ---------------------------------------------------------
+
+    def _set_demands(self) -> None:
+        for vm in self.hypervisor.vms:
+            workload = vm.workload
+            if workload is None:
+                vm.set_uniform_demand(0.0)
+                continue
+            for vcpu in vm.vcpus:
+                vcpu.set_demand(float(workload.demand(vcpu.index, self.t)))
+
+    def _absorb_progress(self) -> None:
+        for vm in self.hypervisor.vms:
+            workload = vm.workload
+            if workload is None:
+                continue
+            for vcpu in vm.vcpus:
+                core = self.node.last_core_of(vcpu.tid)
+                freq = self.node.effective_mhz(self.node.core_frequency_mhz(core))
+                workload.advance(
+                    vcpu.index, self.t, self.dt, vcpu.entity.allocated, freq
+                )
+
+    def _record_actuals(self) -> None:
+        node = self.node
+        for vm in self.hypervisor.vms:
+            freqs: List[float] = []
+            for vcpu in vm.vcpus:
+                core = node.last_core_of(vcpu.tid)
+                share = vcpu.entity.allocated / self.dt
+                freqs.append(share * node.core_frequency_mhz(core))
+            self.metrics.record_vfreq_actual(self.t, vm.name, float(np.mean(freqs)))
+        self.metrics.core_freq_mean.append(self.t, node.dvfs.mean_mhz())
+        self.metrics.core_freq_std.append(self.t, node.dvfs.std_mhz())
+        total_alloc = sum(e.allocated for e in node.entities)
+        self.metrics.node_utilisation.append(
+            self.t, total_alloc / (node.spec.logical_cpus * self.dt)
+        )
+
+    def _record_report(self, report: ControllerReport) -> None:
+        for vm_name, vfreq in report.vfreq_by_vm().items():
+            self.metrics.record_vfreq_estimate(report.t, vm_name, vfreq)
+        self.metrics.market_initial.append(report.t, report.market_initial)
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def vms(self) -> Dict[str, VMInstance]:
+        return {vm.name: vm for vm in self.hypervisor.vms}
+
+    def all_workloads_finished(self) -> bool:
+        return all(
+            vm.workload is None or vm.workload.finished for vm in self.hypervisor.vms
+        )

@@ -1,0 +1,145 @@
+"""Time-series recording for simulations.
+
+Stores what the paper's figures plot: estimated virtual frequency per VM
+(Figs. 6-9, 12-13), benchmark scores per iteration (Figs. 10, 11, 14),
+plus ground-truth allocations and host-level stats used for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only (t, value) series with vector access."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError(f"{self.name}: timestamps must be non-decreasing")
+        self._t.append(float(t))
+        self._v.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v)
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with t0 <= t < t1."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._t, self._v):
+            if t0 <= t < t1:
+                out.append(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self._v:
+            raise ValueError(f"{self.name}: empty series has no mean")
+        return float(np.mean(self._v))
+
+    def std(self) -> float:
+        if not self._v:
+            raise ValueError(f"{self.name}: empty series has no std")
+        return float(np.std(self._v))
+
+    def last(self) -> Tuple[float, float]:
+        if not self._t:
+            raise ValueError(f"{self.name}: empty series")
+        return self._t[-1], self._v[-1]
+
+
+@dataclass
+class MetricsRecorder:
+    """Collects per-VM and host-level series during a simulation run."""
+
+    vfreq_estimated: Dict[str, TimeSeries] = field(default_factory=dict)
+    vfreq_actual: Dict[str, TimeSeries] = field(default_factory=dict)
+    core_freq_std: TimeSeries = field(default_factory=lambda: TimeSeries("core_freq_std"))
+    core_freq_mean: TimeSeries = field(default_factory=lambda: TimeSeries("core_freq_mean"))
+    node_utilisation: TimeSeries = field(default_factory=lambda: TimeSeries("node_util"))
+    market_initial: TimeSeries = field(default_factory=lambda: TimeSeries("market"))
+
+    def record_vfreq_estimate(self, t: float, vm_name: str, vfreq_mhz: float) -> None:
+        self._series(self.vfreq_estimated, vm_name).append(t, vfreq_mhz)
+
+    def record_vfreq_actual(self, t: float, vm_name: str, vfreq_mhz: float) -> None:
+        self._series(self.vfreq_actual, vm_name).append(t, vfreq_mhz)
+
+    @staticmethod
+    def _series(store: Dict[str, TimeSeries], name: str) -> TimeSeries:
+        series = store.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            store[name] = series
+        return series
+
+    # -- aggregation used by figures ------------------------------------------------
+
+    def group_mean_series(
+        self,
+        store: Dict[str, TimeSeries],
+        vm_names: Sequence[str],
+        *,
+        bucket_s: float = 1.0,
+    ) -> TimeSeries:
+        """Average a set of VMs' series into one bucketed series.
+
+        This is exactly the paper's "average frequency of the vCPUs of
+        the different instances" aggregation for a VM class.
+        """
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        merged_t: List[np.ndarray] = []
+        merged_v: List[np.ndarray] = []
+        for name in vm_names:
+            if name in store and len(store[name]):
+                merged_t.append(store[name].times)
+                merged_v.append(store[name].values)
+        out = TimeSeries(f"mean[{len(merged_t)} vms]")
+        if not merged_t:
+            return out
+        t = np.concatenate(merged_t)
+        v = np.concatenate(merged_v)
+        buckets = np.floor(t / bucket_s).astype(np.int64)
+        order = np.argsort(buckets, kind="stable")
+        buckets, v = buckets[order], v[order]
+        uniq, start = np.unique(buckets, return_index=True)
+        sums = np.add.reduceat(v, start)
+        counts = np.diff(np.concatenate((start, [len(v)])))
+        for b, s, c in zip(uniq, sums, counts):
+            out.append(float(b) * bucket_s, float(s / c))
+        return out
+
+    def steady_state_mean(
+        self,
+        store: Dict[str, TimeSeries],
+        vm_names: Sequence[str],
+        t0: float,
+        t1: Optional[float] = None,
+    ) -> float:
+        """Mean value across VMs restricted to [t0, t1) — plateau checks."""
+        values: List[float] = []
+        for name in vm_names:
+            series = store.get(name)
+            if series is None:
+                continue
+            windowed = series.window(t0, t1 if t1 is not None else float("inf"))
+            if len(windowed):
+                values.append(windowed.mean())
+        if not values:
+            raise ValueError("no data in the requested window")
+        return float(np.mean(values))

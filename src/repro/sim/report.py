@@ -1,0 +1,87 @@
+"""Plain-text rendering of the series and tables the benches print."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.metrics import TimeSeries
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table (the benches' stdout artefacts)."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        cells.append([_fmt(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row_cells in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def series_to_rows(
+    series: Dict[str, TimeSeries],
+    *,
+    step_s: float = 30.0,
+    t_max: Optional[float] = None,
+) -> Tuple[List[str], List[List[object]]]:
+    """Down-sample several time series into table rows: t, v1, v2, ...
+
+    Each output row is the mean of each series within the [t, t+step)
+    bucket — a printable stand-in for a figure's curves.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    headers = ["t(s)"] + list(series)
+    end = t_max
+    if end is None:
+        end = max((s.times[-1] for s in series.values() if len(s)), default=0.0)
+    rows: List[List[object]] = []
+    t = 0.0
+    while t < end:
+        row: List[object] = [int(t)]
+        for s in series.values():
+            windowed = s.window(t, t + step_s)
+            row.append(windowed.mean() if len(windowed) else float("nan"))
+        rows.append(row)
+        t += step_s
+    return headers, rows
+
+
+def scores_rows(
+    scores_by_label: Dict[str, np.ndarray],
+) -> Tuple[List[str], List[List[object]]]:
+    """Rows for a Fig. 10/11/14-style table: iteration index vs. scores."""
+    headers = ["iteration"] + list(scores_by_label)
+    n = max((len(v) for v in scores_by_label.values()), default=0)
+    rows: List[List[object]] = []
+    for i in range(n):
+        row: List[object] = [i + 1]
+        for arr in scores_by_label.values():
+            row.append(float(arr[i]) if i < len(arr) else float("nan"))
+        rows.append(row)
+    return headers, rows

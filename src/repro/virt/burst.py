@@ -1,0 +1,114 @@
+"""Burst-VM baseline (paper §II related work).
+
+Public clouds' burstable instances (EC2 T-series, Azure B-series) cap a
+vCPU at a low *baseline* utilisation; while actual use sits below the
+baseline the VM accrues CPU credits, and accumulated credits let the VM
+run uncapped for a while.  The paper criticises three aspects, all
+reproducible with this model:
+
+1. the baseline is part of the template (~10 % of a vCPU), not chosen by
+   the customer;
+2. while bursting there is *no* cap at all (classic consolidation risk);
+3. a credit-less VM stays capped even when the node is otherwise idle —
+   wasting resources.
+
+The controller here is deliberately node-state *unaware*: it only looks
+at the VM's own usage, which is exactly limitation (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cgroups.cpu import QuotaSpec
+from repro.virt.vm import VMInstance
+
+
+@dataclass(frozen=True)
+class BurstPolicy:
+    """Template-level burst parameters (EC2 T3-like defaults)."""
+
+    baseline_fraction: float = 0.10  # of one vCPU
+    credit_cap_seconds: float = 600.0  # max accrued burst seconds
+    initial_credits: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.baseline_fraction <= 1:
+            raise ValueError("baseline_fraction must be in (0, 1]")
+        if self.credit_cap_seconds < 0 or self.initial_credits < 0:
+            raise ValueError("credit amounts must be >= 0")
+
+
+@dataclass
+class _BurstState:
+    credits: float
+    bursting: bool = False
+
+
+class BurstVMController:
+    """Applies burst semantics by writing per-vCPU ``cpu.max`` quotas."""
+
+    def __init__(self, fs, policy: BurstPolicy = BurstPolicy(), period_us: int = 100_000) -> None:
+        self.fs = fs
+        self.policy = policy
+        self.period_us = period_us
+        self._states: Dict[str, _BurstState] = {}
+        self._last_usage: Dict[str, int] = {}
+
+    def watch(self, vm: VMInstance) -> None:
+        self._states[vm.name] = _BurstState(credits=self.policy.initial_credits)
+
+    def credits_of(self, vm_name: str) -> float:
+        return self._states[vm_name].credits
+
+    def is_bursting(self, vm_name: str) -> bool:
+        return self._states[vm_name].bursting
+
+    def tick(self, vms: Dict[str, VMInstance], dt: float) -> None:
+        """One control iteration: accrue/spend credits, rewrite quotas."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for name, vm in vms.items():
+            state = self._states.get(name)
+            if state is None:
+                continue
+            used_usec = self._read_vm_usage(vm)
+            prev = self._last_usage.get(name, used_usec)
+            self._last_usage[name] = used_usec
+            used_s = (used_usec - prev) / 1e6
+
+            baseline_s = self.policy.baseline_fraction * vm.num_vcpus * dt
+            if used_s < baseline_s:
+                state.credits = min(
+                    self.policy.credit_cap_seconds,
+                    state.credits + (baseline_s - used_s),
+                )
+            else:
+                state.credits = max(0.0, state.credits - (used_s - baseline_s))
+
+            state.bursting = state.credits > 0.0 and self._wants_burst(vm)
+            self._apply(vm, state)
+
+    def _wants_burst(self, vm: VMInstance) -> bool:
+        """A VM bursts when its vCPUs demand more than the baseline."""
+        return any(v.demand > self.policy.baseline_fraction for v in vm.vcpus)
+
+    def _apply(self, vm: VMInstance, state: _BurstState) -> None:
+        for vcpu in vm.vcpus:
+            if state.bursting:
+                quota = QuotaSpec(quota_us=-1, period_us=self.period_us)  # uncapped
+            else:
+                quota = QuotaSpec(
+                    quota_us=int(self.policy.baseline_fraction * self.period_us),
+                    period_us=self.period_us,
+                )
+            self.fs.set_quota(vcpu.cgroup_path, quota)
+
+    def _read_vm_usage(self, vm: VMInstance) -> int:
+        """Aggregate usage across the VM's vCPU cgroups (µs)."""
+        total = 0
+        for vcpu in vm.vcpus:
+            node = self.fs.node(vcpu.cgroup_path)
+            total += node.cpu.usage_usec
+        return total

@@ -1,0 +1,107 @@
+"""Spot-instance resource deflation (paper §II, refs [15]-[17]).
+
+The harvesting/spot line of work: spot VMs run on resources the
+provider may *reclaim* at any moment; instead of killing them outright,
+deflation shrinks their CPU allocation and restores it when the
+resources come back.  Suited to "replayable, time-bounded" batch jobs
+(§II) — and contrasted with the paper's approach, where even the lowest
+tier keeps a *guaranteed* floor.
+
+The controller here tracks a reclaim target in MHz: while resources are
+reclaimed, every watched spot VM's per-vCPU quota is scaled down
+proportionally (possibly to near zero — the spot trade-off); on release
+the quotas reopen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.cgroups.cpu import QuotaSpec
+from repro.virt.vm import VMInstance
+
+#: Never squeeze a spot vCPU below this fraction of a core (kernel
+#: minimum quota territory; a real system might pause instead).
+MIN_FRACTION = 0.01
+
+
+@dataclass
+class DeflationState:
+    """Current deflation level of one spot VM (1.0 = fully inflated)."""
+
+    factor: float = 1.0
+
+
+class DeflationController:
+    """Shrinks/restores spot VMs when the provider reclaims capacity."""
+
+    def __init__(self, fs, *, fmax_mhz: float, period_us: int = 100_000) -> None:
+        if fmax_mhz <= 0:
+            raise ValueError("fmax_mhz must be positive")
+        self.fs = fs
+        self.fmax_mhz = fmax_mhz
+        self.period_us = period_us
+        self._states: Dict[str, DeflationState] = {}
+        self.reclaimed_mhz: float = 0.0
+
+    def watch(self, vm: VMInstance) -> None:
+        self._states[vm.name] = DeflationState()
+
+    def factor_of(self, vm_name: str) -> float:
+        return self._states[vm_name].factor
+
+    # -- provider signals -----------------------------------------------------
+
+    def reclaim(self, mhz: float) -> None:
+        """The provider takes ``mhz`` away from the spot pool."""
+        if mhz < 0:
+            raise ValueError("cannot reclaim a negative amount")
+        self.reclaimed_mhz += mhz
+
+    def release(self, mhz: float) -> None:
+        """The provider hands ``mhz`` back."""
+        if mhz < 0:
+            raise ValueError("cannot release a negative amount")
+        self.reclaimed_mhz = max(0.0, self.reclaimed_mhz - mhz)
+
+    # -- enforcement --------------------------------------------------------------
+
+    def apply(self, vms: Mapping[str, VMInstance]) -> Dict[str, float]:
+        """Rescale every watched VM's quotas to the current reclaim level.
+
+        Returns the deflation factor applied per VM.
+        """
+        watched = [vms[name] for name in vms if name in self._states]
+        pool_mhz = sum(
+            vm.num_vcpus * self.fmax_mhz for vm in watched
+        )
+        factors: Dict[str, float] = {}
+        if pool_mhz <= 0:
+            return factors
+        remaining = max(0.0, pool_mhz - self.reclaimed_mhz)
+        factor = max(MIN_FRACTION, remaining / pool_mhz)
+        for vm in watched:
+            self._states[vm.name].factor = factor
+            quota = max(
+                1_000, int(round(factor * self.period_us))
+            )  # per-vCPU: factor of one core
+            for vcpu in vm.vcpus:
+                self.fs.set_quota(
+                    vcpu.cgroup_path,
+                    QuotaSpec(quota_us=quota, period_us=self.period_us),
+                )
+            factors[vm.name] = factor
+        return factors
+
+    def restore_all(self, vms: Mapping[str, VMInstance]) -> None:
+        """Full inflation: drop every watched VM's cap."""
+        self.reclaimed_mhz = 0.0
+        for name, vm in vms.items():
+            if name not in self._states:
+                continue
+            self._states[name].factor = 1.0
+            for vcpu in vm.vcpus:
+                self.fs.set_quota(
+                    vcpu.cgroup_path, QuotaSpec(quota_us=-1, period_us=self.period_us)
+                )

@@ -1,0 +1,62 @@
+"""VM templates — with the paper's new *virtual frequency* field.
+
+A template is the unit a customer picks: vCPU count, memory, and (the
+paper's contribution, §III-A) a guaranteed virtual frequency ``F_v`` in
+MHz.  The evaluation uses three templates (Tables II, III, V):
+
+=======  ======  ==========
+name     vCPUs   frequency
+=======  ======  ==========
+small    2       500 MHz
+medium   4       1 200 MHz
+large    4       1 800 MHz
+=======  ======  ==========
+
+Memory sizes are not given in the paper (its §V explicitly assumes memory
+is plentiful); the values here are conventional for such shapes and only
+matter to the optional memory-aware placement constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VMTemplate:
+    """Immutable VM shape, including the guaranteed virtual frequency."""
+
+    name: str
+    vcpus: int
+    vfreq_mhz: float
+    memory_mb: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ValueError(f"vcpus must be positive, got {self.vcpus}")
+        if self.vfreq_mhz <= 0:
+            raise ValueError(f"vfreq_mhz must be positive, got {self.vfreq_mhz}")
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+
+    @property
+    def demand_mhz(self) -> float:
+        """Total frequency demand ``k_v^vCPU * F_v`` (Eq. 7 LHS term)."""
+        return self.vcpus * self.vfreq_mhz
+
+
+SMALL = VMTemplate(name="small", vcpus=2, vfreq_mhz=500.0, memory_mb=1024)
+MEDIUM = VMTemplate(name="medium", vcpus=4, vfreq_mhz=1200.0, memory_mb=4096)
+LARGE = VMTemplate(name="large", vcpus=4, vfreq_mhz=1800.0, memory_mb=4096)
+
+_CATALOGUE = {t.name: t for t in (SMALL, MEDIUM, LARGE)}
+
+
+def template_by_name(name: str) -> VMTemplate:
+    """Look up one of the paper's three evaluation templates."""
+    try:
+        return _CATALOGUE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown template {name!r}; known: {sorted(_CATALOGUE)}"
+        ) from None

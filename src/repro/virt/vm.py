@@ -1,0 +1,68 @@
+"""VM instances and their vCPUs.
+
+One KVM vCPU is one host kernel thread living in its own sub-cgroup of
+the VM's cgroup (paper §III-B1: "a sub cgroup for each vCPU ... only one
+identifier when using KVM virtual machines").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sched.entity import SchedEntity
+from repro.virt.template import VMTemplate
+
+
+@dataclass
+class VCpu:
+    """One virtual CPU: a thread plus its dedicated cgroup."""
+
+    index: int
+    tid: int
+    cgroup_path: str
+    entity: SchedEntity
+
+    @property
+    def demand(self) -> float:
+        return self.entity.demand
+
+    def set_demand(self, fraction: float) -> None:
+        self.entity.set_demand(fraction)
+
+
+@dataclass
+class VMInstance:
+    """A provisioned VM: template + vCPU threads + cgroup subtree."""
+
+    name: str
+    template: VMTemplate
+    cgroup_path: str
+    vcpus: List[VCpu] = field(default_factory=list)
+    workload: Optional[object] = None  # duck-typed repro.workloads.base.Workload
+
+    @property
+    def num_vcpus(self) -> int:
+        return len(self.vcpus)
+
+    @property
+    def vfreq_mhz(self) -> float:
+        """The guaranteed virtual frequency ``F_{V(i)}``."""
+        return self.template.vfreq_mhz
+
+    def tids(self) -> List[int]:
+        return [v.tid for v in self.vcpus]
+
+    def total_allocated(self) -> float:
+        """CPU-seconds granted to all vCPUs in the last tick."""
+        return sum(v.entity.allocated for v in self.vcpus)
+
+    def set_uniform_demand(self, fraction: float) -> None:
+        for vcpu in self.vcpus:
+            vcpu.set_demand(fraction)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VMInstance({self.name!r}, template={self.template.name}, "
+            f"vcpus={self.num_vcpus}, vfreq={self.vfreq_mhz} MHz)"
+        )

@@ -1,0 +1,146 @@
+"""Workload protocol.
+
+A workload drives the vCPUs of one VM.  Each simulation tick the engine:
+
+1. asks :meth:`Workload.demand` for every vCPU — the fraction of one core
+   the guest wants during the coming tick;
+2. after scheduling, calls :meth:`Workload.advance` with what each vCPU
+   actually received (CPU-seconds) and the effective core frequency, so
+   the workload can accumulate *work* (MHz x seconds — the natural unit
+   when a benchmark's speed is proportional to the clock it runs at).
+
+Work-conserving scoring is what makes the Fig. 10/11/14 reproduction
+meaningful: an iteration's score is work/wall-time, so capped VMs show
+lower, *flatter* scores — the paper's predictability argument.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class WorkloadScore:
+    """One scored benchmark iteration."""
+
+    iteration: int
+    started_at: float
+    finished_at: float
+    work_mhz_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def score(self) -> float:
+        """Throughput in MHz-equivalents (work per wall second)."""
+        if self.duration_s <= 0:
+            raise ValueError("iteration has non-positive duration")
+        return self.work_mhz_s / self.duration_s
+
+
+class Workload(abc.ABC):
+    """Base class for per-VM workload models."""
+
+    def __init__(self, num_vcpus: int, start_time: float = 0.0) -> None:
+        if num_vcpus <= 0:
+            raise ValueError("num_vcpus must be positive")
+        if start_time < 0:
+            raise ValueError("start_time must be >= 0")
+        self.num_vcpus = num_vcpus
+        self.start_time = start_time
+        self.scores: List[WorkloadScore] = []
+
+    @abc.abstractmethod
+    def demand(self, vcpu: int, t: float) -> float:
+        """Desired fraction of one core for ``vcpu`` during the tick at ``t``."""
+
+    def advance(self, vcpu: int, t: float, dt: float, cpu_seconds: float, freq_mhz: float) -> None:
+        """Account progress; default implementation tracks nothing."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether the workload has no more work to run."""
+        return False
+
+    def started(self, t: float) -> bool:
+        return t >= self.start_time
+
+
+def attach(vm, workload: Workload) -> Workload:
+    """Bind a workload to a VM instance (validates vCPU count)."""
+    if workload.num_vcpus != vm.num_vcpus:
+        raise ValueError(
+            f"workload sized for {workload.num_vcpus} vCPUs but VM "
+            f"{vm.name} has {vm.num_vcpus}"
+        )
+    vm.workload = workload
+    return workload
+
+
+class PooledWorkWorkload(Workload):
+    """Shared-work base: vCPUs jointly consume per-iteration work quanta.
+
+    Models a multi-threaded benchmark (both Phoronix workloads are): all
+    vCPUs pull from the same work pool, an iteration completes when the
+    pooled accumulated work reaches the iteration size, and its score is
+    recorded.  Subclasses define only the demand shape.
+    """
+
+    def __init__(
+        self,
+        num_vcpus: int,
+        *,
+        iterations: int,
+        work_per_iteration_mhz_s: float,
+        start_time: float = 0.0,
+    ) -> None:
+        super().__init__(num_vcpus, start_time)
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if work_per_iteration_mhz_s <= 0:
+            raise ValueError("work_per_iteration_mhz_s must be positive")
+        self.iterations = iterations
+        self.work_per_iteration = work_per_iteration_mhz_s
+        self._done_iterations = 0
+        self._iter_work = 0.0
+        self._iter_started_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self._done_iterations >= self.iterations
+
+    @property
+    def current_iteration(self) -> int:
+        """0-based index of the in-flight iteration."""
+        return self._done_iterations
+
+    def iteration_progress(self) -> float:
+        """Fraction of the current iteration's work already done."""
+        if self.finished:
+            return 1.0
+        return self._iter_work / self.work_per_iteration
+
+    def advance(self, vcpu: int, t: float, dt: float, cpu_seconds: float, freq_mhz: float) -> None:
+        if self.finished or not self.started(t):
+            return
+        if cpu_seconds < 0 or freq_mhz < 0:
+            raise ValueError("negative progress inputs")
+        if self._iter_started_at is None:
+            self._iter_started_at = t
+        self._iter_work += cpu_seconds * freq_mhz
+        while self._iter_work >= self.work_per_iteration and not self.finished:
+            self.scores.append(
+                WorkloadScore(
+                    iteration=self._done_iterations,
+                    started_at=self._iter_started_at,
+                    finished_at=t + dt,
+                    work_mhz_s=self.work_per_iteration,
+                )
+            )
+            self._iter_work -= self.work_per_iteration
+            self._done_iterations += 1
+            self._iter_started_at = t + dt

@@ -1,0 +1,121 @@
+"""Phoronix-test-suite-like orchestration and reporting.
+
+The paper drives its benchmarks through PTS, which runs each test a
+fixed number of times and reports mean/deviation per configuration.
+:class:`BenchmarkSuite` does the same over our workload models: it
+binds workloads to VMs with staggered start times, runs the simulation
+until everything finishes (or a deadline), and produces PTS-style
+per-VM and per-class statistics from the recorded iteration scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Simulation
+from repro.virt.vm import VMInstance
+from repro.workloads.base import Workload, attach
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """PTS-style statistics for one VM's benchmark run."""
+
+    vm_name: str
+    iterations: int
+    mean_score: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_deviation_pct(self) -> float:
+        """PTS's headline noise metric: stddev as % of the mean."""
+        if self.mean_score == 0:
+            return 0.0
+        return 100.0 * self.stddev / self.mean_score
+
+
+@dataclass
+class SuiteResult:
+    """All per-VM results plus class-level aggregation."""
+
+    results: List[RunResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def by_vm(self, vm_name: str) -> RunResult:
+        for r in self.results:
+            if r.vm_name == vm_name:
+                return r
+        raise KeyError(f"no result for VM {vm_name}")
+
+    def class_mean(self, prefix: str) -> float:
+        scores = [r.mean_score for r in self.results if r.vm_name.startswith(prefix)]
+        if not scores:
+            raise KeyError(f"no results with prefix {prefix!r}")
+        return float(np.mean(scores))
+
+    def class_relative_deviation_pct(self, prefix: str) -> float:
+        devs = [
+            r.relative_deviation_pct
+            for r in self.results
+            if r.vm_name.startswith(prefix)
+        ]
+        if not devs:
+            raise KeyError(f"no results with prefix {prefix!r}")
+        return float(np.mean(devs))
+
+
+class BenchmarkSuite:
+    """Attach workloads to VMs, run, and summarise like PTS."""
+
+    def __init__(self, simulation: Simulation) -> None:
+        self.simulation = simulation
+        self._vms: List[VMInstance] = []
+
+    def add(self, vm: VMInstance, workload: Workload) -> None:
+        """Schedule one VM's benchmark (start time lives on the workload)."""
+        attach(vm, workload)
+        self._vms.append(vm)
+
+    def run(self, deadline_s: float, *, settle_s: float = 0.0) -> SuiteResult:
+        """Run until every scheduled benchmark finishes or the deadline.
+
+        ``settle_s`` keeps the simulation going after completion (e.g. to
+        observe the controller redistributing the freed cycles).
+        """
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        sim = self.simulation
+        t0 = sim.t
+        sim.run(deadline_s, until=self._all_done)
+        if settle_s > 0:
+            sim.run(settle_s)
+        return self._collect(sim.t - t0)
+
+    def _all_done(self) -> bool:
+        return all(vm.workload is None or vm.workload.finished for vm in self._vms)
+
+    def _collect(self, wall: float) -> SuiteResult:
+        out = SuiteResult(wall_seconds=wall)
+        for vm in self._vms:
+            scores = np.asarray([s.score for s in vm.workload.scores])
+            if scores.size == 0:
+                out.results.append(
+                    RunResult(vm.name, 0, 0.0, 0.0, 0.0, 0.0)
+                )
+                continue
+            out.results.append(
+                RunResult(
+                    vm_name=vm.name,
+                    iterations=int(scores.size),
+                    mean_score=float(scores.mean()),
+                    stddev=float(scores.std()),
+                    minimum=float(scores.min()),
+                    maximum=float(scores.max()),
+                )
+            )
+        return out

@@ -1,0 +1,119 @@
+"""Latency-oriented web-server workload.
+
+The paper's motivating low tier is the "personal website" (§I/§II) —
+a VM whose owner cares about *response time*, not throughput.  This
+workload turns the simulator into a queueing system so the effect of
+CPU capping on tail latency becomes measurable:
+
+* requests arrive on a precomputed Poisson schedule (deterministic per
+  seed);
+* each request costs a fixed amount of work (MHz x seconds);
+* the VM's vCPUs drain the queue at whatever speed the host grants
+  them; a request's *response time* is completion minus arrival.
+
+The demand signal is binary-ish: full while the queue is non-empty,
+a small keep-alive level otherwise — the bursty shape burst VMs target
+(§II) and trigger-based controllers find hardest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+
+class WebServerWorkload(Workload):
+    """Poisson request stream served by the VM's vCPUs."""
+
+    def __init__(
+        self,
+        num_vcpus: int,
+        *,
+        rps: float,
+        work_per_request_mhz_s: float = 200.0,
+        horizon_s: float = 3600.0,
+        idle_level: float = 0.02,
+        start_time: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_vcpus, start_time)
+        if rps <= 0:
+            raise ValueError("rps must be positive")
+        if work_per_request_mhz_s <= 0:
+            raise ValueError("work_per_request_mhz_s must be positive")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not 0.0 <= idle_level <= 1.0:
+            raise ValueError("idle_level must be in [0, 1]")
+        self.rps = rps
+        self.work_per_request = work_per_request_mhz_s
+        self.idle_level = idle_level
+        rng = np.random.default_rng(seed)
+        n_expected = int(rps * horizon_s * 1.5) + 16
+        gaps = rng.exponential(1.0 / rps, size=n_expected)
+        arrivals = np.cumsum(gaps)
+        self._arrivals = arrivals[arrivals < horizon_s]
+        self._next_arrival_idx = 0
+        # queue of [arrival_time, remaining_work]
+        self._queue: Deque[List[float]] = deque()
+        self.response_times: List[float] = []
+        self.dropped = 0
+
+    # -- queue mechanics ---------------------------------------------------------
+
+    def _admit_arrivals(self, t: float) -> None:
+        rel = t - self.start_time
+        while (
+            self._next_arrival_idx < len(self._arrivals)
+            and self._arrivals[self._next_arrival_idx] <= rel
+        ):
+            arrival = self._arrivals[self._next_arrival_idx] + self.start_time
+            self._queue.append([arrival, self.work_per_request])
+            self._next_arrival_idx += 1
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def served(self) -> int:
+        return len(self.response_times)
+
+    def demand(self, vcpu: int, t: float) -> float:
+        if not self.started(t):
+            return 0.0
+        self._admit_arrivals(t)
+        return 1.0 if self._queue else self.idle_level
+
+    def advance(self, vcpu: int, t: float, dt: float, cpu_seconds: float, freq_mhz: float) -> None:
+        if not self.started(t):
+            return
+        if cpu_seconds < 0 or freq_mhz < 0:
+            raise ValueError("negative progress inputs")
+        self._admit_arrivals(t + dt)
+        budget = cpu_seconds * freq_mhz  # MHz*s of work this vCPU did
+        while budget > 1e-12 and self._queue:
+            head = self._queue[0]
+            take = min(budget, head[1])
+            head[1] -= take
+            budget -= take
+            if head[1] <= 1e-9:
+                self._queue.popleft()
+                self.response_times.append(max(0.0, t + dt - head[0]))
+
+    # -- metrics --------------------------------------------------------------------
+
+    def percentile_ms(self, q: float) -> float:
+        """Response-time percentile in milliseconds (q in [0, 100])."""
+        if not self.response_times:
+            raise ValueError("no completed requests yet")
+        return float(np.percentile(self.response_times, q)) * 1000.0
+
+    def mean_ms(self) -> float:
+        if not self.response_times:
+            raise ValueError("no completed requests yet")
+        return float(np.mean(self.response_times)) * 1000.0

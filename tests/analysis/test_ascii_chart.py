@@ -1,0 +1,72 @@
+"""Tests for the terminal chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_chart import AsciiChart, chart_time_series
+
+
+class TestAsciiChart:
+    def test_renders_all_parts(self):
+        chart = AsciiChart(width=30, height=6)
+        chart.add_series("a", [0, 1, 2], [0.0, 5.0, 10.0])
+        out = chart.render(title="T", y_label="MHz")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len([l for l in lines if "|" in l]) == 6
+        assert "* a" in out
+        assert "[MHz]" in out
+
+    def test_min_max_labels(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("a", [0, 10], [100.0, 500.0])
+        out = chart.render()
+        assert "500" in out
+        assert "100" in out
+
+    def test_points_land_in_corners(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("a", [0, 10], [0.0, 10.0])
+        rows = [l.split("|", 1)[1] for l in chart.render().splitlines() if "|" in l]
+        assert rows[0][-1] == "*"  # max value, last column, top row
+        assert rows[-1][0] == "*"  # min value, first column, bottom row
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("a", [0, 1], [0, 1])
+        chart.add_series("b", [0, 1], [1, 0])
+        out = chart.render()
+        assert "* a" in out
+        assert "o b" in out
+
+    def test_flat_series_ok(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("a", [0, 1], [5.0, 5.0])
+        assert "|" in chart.render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=5, height=5)
+        chart = AsciiChart(width=20, height=5)
+        with pytest.raises(ValueError):
+            chart.render()  # no series
+        with pytest.raises(ValueError):
+            chart.add_series("a", [0, 1], [1.0])
+        with pytest.raises(ValueError):
+            chart.add_series("a", [], [])
+
+    def test_too_many_series(self):
+        chart = AsciiChart(width=20, height=5)
+        for k in range(8):
+            chart.add_series(f"s{k}", [0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            chart.add_series("overflow", [0, 1], [0, 1])
+
+
+class TestHelper:
+    def test_chart_time_series(self):
+        out = chart_time_series(
+            {"x": ([0, 1, 2], [1.0, 2.0, 3.0])}, title="demo", width=24, height=5
+        )
+        assert out.startswith("demo")
+        assert "* x" in out

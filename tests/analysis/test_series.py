@@ -1,0 +1,68 @@
+"""Tests for analysis series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import moving_average, plateau_segments, settling_time
+
+
+class TestMovingAverage:
+    def test_flat_unchanged(self):
+        v = np.full(10, 3.0)
+        assert np.allclose(moving_average(v, 3), 3.0)
+
+    def test_window_one_is_identity(self):
+        v = np.arange(5.0)
+        assert np.array_equal(moving_average(v, 1), v)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(0, 1, 200)
+        assert moving_average(v, 10).std() < v.std()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(3), 0)
+
+
+class TestPlateaus:
+    def test_finds_two_levels(self):
+        t = np.arange(20.0)
+        v = np.concatenate((np.full(10, 100.0), np.full(10, 500.0)))
+        segs = plateau_segments(t, v, tolerance=10.0, min_duration=5.0)
+        assert len(segs) == 2
+        assert segs[0][2] == pytest.approx(100.0)
+        assert segs[1][2] == pytest.approx(500.0)
+
+    def test_short_blips_excluded(self):
+        t = np.arange(10.0)
+        v = np.array([1, 1, 1, 1, 99, 1, 1, 1, 1, 1.0])
+        segs = plateau_segments(t, v, tolerance=5.0, min_duration=3.0)
+        assert all(abs(level - 1.0) < 5.0 for _, _, level in segs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plateau_segments(np.zeros(3), np.zeros(2), tolerance=1.0, min_duration=1.0)
+        with pytest.raises(ValueError):
+            plateau_segments(np.zeros(3), np.zeros(3), tolerance=0.0, min_duration=1.0)
+
+
+class TestSettlingTime:
+    def test_settles_after_transient(self):
+        t = np.arange(10.0)
+        v = np.array([0, 0, 0, 400, 480, 500, 505, 498, 502, 500.0])
+        assert settling_time(t, v, 500.0, band=20.0) == pytest.approx(4.0)
+
+    def test_never_settles(self):
+        t = np.arange(5.0)
+        v = np.array([0, 1000, 0, 1000, 0.0])
+        assert settling_time(t, v, 500.0, band=20.0) == float("inf")
+
+    def test_settled_from_start(self):
+        t = np.arange(5.0)
+        v = np.full(5, 500.0)
+        assert settling_time(t, v, 500.0, band=20.0) == 0.0
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            settling_time(np.zeros(2), np.zeros(2), 0.0, band=0.0)

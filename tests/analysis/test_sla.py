@@ -1,0 +1,118 @@
+"""Tests for SLA accounting."""
+
+import pytest
+
+from repro.analysis.sla import SlaRecord, SlaReport, evaluate_sla
+from repro.core.controller import ControllerReport
+from repro.core.monitor import VCpuSample
+
+
+def sample(vm, path, consumed):
+    return VCpuSample(
+        vm_name=vm,
+        vcpu_index=0,
+        cgroup_path=path,
+        tid=1,
+        consumed_cycles=consumed,
+        core=0,
+        core_freq_mhz=2400.0,
+        vfreq_mhz=0.0,
+    )
+
+
+def report(t, samples, allocations):
+    r = ControllerReport(t=t)
+    r.samples = samples
+    r.allocations = allocations
+    return r
+
+
+GUARANTEE = {"vm": 200_000.0}
+PATH = "/m/vm/vcpu0"
+
+
+class TestEvaluateSla:
+    def test_busy_below_guarantee_is_violation(self):
+        reports = [
+            report(1.0, [sample("vm", PATH, 0.0)], {PATH: 150_000.0}),
+            # consumed ~ all of the previous 150k allocation -> wanted more
+            report(2.0, [sample("vm", PATH, 149_000.0)], {PATH: 150_000.0}),
+        ]
+        out = evaluate_sla(reports, GUARANTEE)
+        rec = out.records["vm"]
+        assert rec.iterations_busy == 1
+        assert rec.iterations_violated == 1
+        assert rec.worst_fraction == pytest.approx(0.75)
+
+    def test_busy_at_guarantee_is_fine(self):
+        reports = [
+            report(1.0, [sample("vm", PATH, 0.0)], {PATH: 200_000.0}),
+            report(2.0, [sample("vm", PATH, 199_000.0)], {PATH: 200_000.0}),
+        ]
+        out = evaluate_sla(reports, GUARANTEE)
+        assert out.records["vm"].iterations_violated == 0
+        assert out.overall_violation_rate() == 0.0
+
+    def test_idle_vm_never_violates(self):
+        reports = [
+            report(1.0, [sample("vm", PATH, 0.0)], {PATH: 50_000.0}),
+            report(2.0, [sample("vm", PATH, 10_000.0)], {PATH: 50_000.0}),
+        ]
+        out = evaluate_sla(reports, GUARANTEE)
+        assert "vm" not in out.records or out.records["vm"].iterations_busy == 0
+
+    def test_boosted_vm_counts_as_satisfied(self):
+        reports = [
+            report(1.0, [sample("vm", PATH, 0.0)], {PATH: 900_000.0}),
+            report(2.0, [sample("vm", PATH, 880_000.0)], {PATH: 900_000.0}),
+        ]
+        out = evaluate_sla(reports, GUARANTEE)
+        rec = out.records["vm"]
+        assert rec.iterations_busy == 1
+        assert rec.iterations_violated == 0
+        assert rec.worst_fraction == pytest.approx(4.5)
+
+    def test_unknown_vm_ignored(self):
+        reports = [
+            report(1.0, [sample("other", "/m/other/vcpu0", 0.0)], {"/m/other/vcpu0": 1.0}),
+        ]
+        out = evaluate_sla(reports, GUARANTEE)
+        assert out.records == {}
+
+    def test_aggregates(self):
+        r = SlaReport()
+        a = r.record_for("a")
+        a.iterations_busy = 10
+        a.iterations_violated = 2
+        b = r.record_for("b")
+        b.iterations_busy = 10
+        assert r.total_violations == 2
+        assert r.vms_ever_violated == 1
+        assert r.overall_violation_rate() == pytest.approx(0.1)
+
+    def test_empty_rates(self):
+        assert SlaRecord("x").violation_rate == 0.0
+        assert SlaReport().overall_violation_rate() == 0.0
+
+
+class TestEndToEnd:
+    def test_contended_controlled_host_has_no_violations(self):
+        from repro.sim.engine import Simulation
+        from repro.virt.template import VMTemplate
+        from repro.workloads.base import attach
+        from repro.workloads.synthetic import ConstantWorkload
+        from tests.conftest import make_host
+
+        node, hv, ctrl = make_host()
+        guarantees = {}
+        for k in range(4):
+            t = VMTemplate(f"t{k}", vcpus=1, vfreq_mhz=2300.0)
+            vm = hv.provision(t, f"vm-{k}")
+            ctrl.register_vm(vm.name, t.vfreq_mhz)
+            attach(vm, ConstantWorkload(1))
+            guarantees[vm.name] = ctrl.guaranteed_cycles_of(vm.name)
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(40.0)
+        # skip the cold-start convergence
+        out = evaluate_sla(ctrl.reports[10:], guarantees)
+        assert out.overall_violation_rate() == 0.0

@@ -1,0 +1,39 @@
+"""Tests for analysis stats helpers."""
+
+import pytest
+
+from repro.analysis.stats import relative_error, summarize, within_band
+
+
+class TestRelativeError:
+    def test_value(self):
+        assert relative_error(480.0, 500.0) == pytest.approx(0.04)
+
+    def test_zero_expected_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestWithinBand:
+    def test_inside(self):
+        assert within_band(480.0, 500.0, 0.05)
+
+    def test_outside(self):
+        assert not within_band(400.0, 500.0, 0.05)
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValueError):
+            within_band(1.0, 1.0, -0.1)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,141 @@
+"""Unit tests for repro.cgroups.fs — the path/file cgroupfs facade."""
+
+import pytest
+
+from repro.cgroups.cpu import QuotaSpec
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+
+
+@pytest.fixture
+def v2():
+    fs = CgroupFS(CgroupVersion.V2)
+    fs.makedirs("/machine.slice/vm-a/vcpu0")
+    return fs
+
+
+@pytest.fixture
+def v1():
+    fs = CgroupFS(CgroupVersion.V1)
+    fs.makedirs("/machine.slice/vm-a/vcpu0")
+    return fs
+
+
+class TestDirectories:
+    def test_mkdir_requires_existing_parent(self):
+        fs = CgroupFS()
+        with pytest.raises(FileNotFoundError):
+            fs.mkdir("/a/b")
+
+    def test_makedirs_creates_ancestors(self):
+        fs = CgroupFS()
+        fs.makedirs("/a/b/c")
+        assert fs.exists("/a/b/c")
+
+    def test_makedirs_is_idempotent(self):
+        fs = CgroupFS()
+        fs.makedirs("/a/b")
+        fs.makedirs("/a/b")
+        assert fs.listdir("/a") == ["b"]
+
+    def test_rmdir(self, v2):
+        v2.rmdir("/machine.slice/vm-a/vcpu0")
+        assert not v2.exists("/machine.slice/vm-a/vcpu0")
+
+    def test_rmdir_root_refused(self, v2):
+        with pytest.raises(ValueError):
+            v2.rmdir("/")
+
+    def test_listdir_sorted(self):
+        fs = CgroupFS()
+        fs.makedirs("/b")
+        fs.makedirs("/a")
+        assert fs.listdir("/") == ["a", "b"]
+
+    def test_node_missing_raises(self, v2):
+        with pytest.raises(FileNotFoundError):
+            v2.node("/ghost")
+
+
+class TestV2Files:
+    def test_cpu_max_roundtrip(self, v2):
+        v2.write("/machine.slice/vm-a/vcpu0/cpu.max", "25000 100000")
+        assert v2.read("/machine.slice/vm-a/vcpu0/cpu.max") == "25000 100000\n"
+
+    def test_cpu_max_default_is_max(self, v2):
+        assert v2.read("/machine.slice/vm-a/vcpu0/cpu.max").startswith("max ")
+
+    def test_cpu_stat_reflects_charges(self, v2):
+        v2.node("/machine.slice/vm-a/vcpu0").cpu.charge(5_000)
+        assert "usage_usec 5000" in v2.read("/machine.slice/vm-a/vcpu0/cpu.stat")
+
+    def test_cpu_stat_not_writable(self, v2):
+        with pytest.raises(PermissionError):
+            v2.write("/machine.slice/vm-a/vcpu0/cpu.stat", "usage_usec 0")
+
+    def test_cgroup_threads(self, v2):
+        v2.write("/machine.slice/vm-a/vcpu0/cgroup.threads", "1234")
+        assert v2.read("/machine.slice/vm-a/vcpu0/cgroup.threads") == "1234\n"
+
+    def test_weight_validation(self, v2):
+        v2.write("/machine.slice/vm-a/cpu.weight", "500")
+        assert v2.read("/machine.slice/vm-a/cpu.weight") == "500\n"
+        with pytest.raises(ValueError):
+            v2.write("/machine.slice/vm-a/cpu.weight", "0")
+        with pytest.raises(ValueError):
+            v2.write("/machine.slice/vm-a/cpu.weight", "10001")
+
+    def test_v1_files_absent_on_v2(self, v2):
+        with pytest.raises(FileNotFoundError):
+            v2.read("/machine.slice/vm-a/vcpu0/cpuacct.usage")
+
+    def test_unknown_file_read(self, v2):
+        with pytest.raises(FileNotFoundError):
+            v2.read("/machine.slice/vm-a/vcpu0/cpu.bogus")
+
+
+class TestV1Files:
+    def test_quota_roundtrip(self, v1):
+        v1.write("/machine.slice/vm-a/vcpu0/cpu.cfs_quota_us", "25000")
+        assert v1.read("/machine.slice/vm-a/vcpu0/cpu.cfs_quota_us") == "25000\n"
+
+    def test_negative_quota_means_unlimited(self, v1):
+        v1.write("/machine.slice/vm-a/vcpu0/cpu.cfs_quota_us", "-1")
+        assert v1.get_quota("/machine.slice/vm-a/vcpu0").unlimited
+
+    def test_period_write_preserves_quota(self, v1):
+        path = "/machine.slice/vm-a/vcpu0"
+        v1.write(f"{path}/cpu.cfs_quota_us", "30000")
+        v1.write(f"{path}/cpu.cfs_period_us", "50000")
+        q = v1.get_quota(path)
+        assert (q.quota_us, q.period_us) == (30000, 50000)
+
+    def test_cpuacct_usage_nanoseconds(self, v1):
+        v1.node("/machine.slice/vm-a/vcpu0").cpu.charge(3)
+        assert v1.read("/machine.slice/vm-a/vcpu0/cpuacct.usage") == "3000\n"
+
+    def test_tasks_file(self, v1):
+        v1.write("/machine.slice/vm-a/vcpu0/tasks", "99")
+        assert v1.read("/machine.slice/vm-a/vcpu0/tasks") == "99\n"
+
+    def test_shares_write_maps_to_weight(self, v1):
+        v1.write("/machine.slice/vm-a/cpu.shares", "2048")
+        assert v1.node("/machine.slice/vm-a").cpu.weight == 200
+
+    def test_shares_too_small_rejected(self, v1):
+        with pytest.raises(ValueError):
+            v1.write("/machine.slice/vm-a/cpu.shares", "1")
+
+    def test_v2_files_absent_on_v1(self, v1):
+        with pytest.raises(FileNotFoundError):
+            v1.read("/machine.slice/vm-a/vcpu0/cpu.max")
+
+
+class TestTypedHelpers:
+    def test_set_get_quota(self, v2):
+        q = QuotaSpec(10_000, 100_000)
+        v2.set_quota("/machine.slice/vm-a/vcpu0", q)
+        assert v2.get_quota("/machine.slice/vm-a/vcpu0") == q
+
+    def test_attach_thread(self, v2):
+        v2.attach_thread("/machine.slice/vm-a/vcpu0", 55)
+        assert v2.node("/machine.slice/vm-a/vcpu0").threads == [55]

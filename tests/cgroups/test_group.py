@@ -1,0 +1,102 @@
+"""Unit tests for repro.cgroups.group — the cgroup tree."""
+
+import pytest
+
+from repro.cgroups.group import CgroupNode
+
+
+@pytest.fixture
+def root():
+    return CgroupNode("", parent=None)
+
+
+class TestTree:
+    def test_root_path_is_slash(self, root):
+        assert root.path == "/"
+
+    def test_child_paths(self, root):
+        a = root.add_child("machine.slice")
+        b = a.add_child("vm-0")
+        assert a.path == "/machine.slice"
+        assert b.path == "/machine.slice/vm-0"
+
+    def test_duplicate_child_rejected(self, root):
+        root.add_child("a")
+        with pytest.raises(FileExistsError):
+            root.add_child("a")
+
+    def test_invalid_names_rejected(self, root):
+        with pytest.raises(ValueError):
+            root.add_child("has/slash")
+        with pytest.raises(ValueError):
+            root.add_child("")
+
+    def test_remove_child(self, root):
+        root.add_child("a")
+        root.remove_child("a")
+        assert "a" not in root.children
+
+    def test_remove_missing_child(self, root):
+        with pytest.raises(FileNotFoundError):
+            root.remove_child("ghost")
+
+    def test_remove_nonempty_refused(self, root):
+        a = root.add_child("a")
+        a.add_child("b")
+        with pytest.raises(OSError):
+            root.remove_child("a")
+
+    def test_remove_with_threads_refused(self, root):
+        a = root.add_child("a")
+        a.attach_thread(42)
+        with pytest.raises(OSError):
+            root.remove_child("a")
+
+    def test_walk_is_depth_first_and_complete(self, root):
+        a = root.add_child("a")
+        a.add_child("a1")
+        root.add_child("b")
+        paths = [n.path for n in root.walk()]
+        assert paths == ["/", "/a", "/a/a1", "/b"]
+
+    def test_find_resolves_nested(self, root):
+        a = root.add_child("a")
+        a1 = a.add_child("a1")
+        assert root.find("a/a1") is a1
+        assert root.find("/a/a1/") is a1
+
+    def test_find_missing_returns_none(self, root):
+        assert root.find("nope") is None
+
+
+class TestThreads:
+    def test_attach_detach(self, root):
+        root.attach_thread(7)
+        assert root.threads == [7]
+        root.detach_thread(7)
+        assert root.threads == []
+
+    def test_double_attach_rejected(self, root):
+        root.attach_thread(7)
+        with pytest.raises(ValueError):
+            root.attach_thread(7)
+
+    def test_detach_missing_rejected(self, root):
+        with pytest.raises(ValueError):
+            root.detach_thread(9)
+
+    def test_all_threads_spans_subtree(self, root):
+        a = root.add_child("a")
+        a.attach_thread(1)
+        a.add_child("b").attach_thread(2)
+        root.attach_thread(3)
+        assert sorted(root.all_threads()) == [1, 2, 3]
+
+    def test_threads_file_sorted_one_per_line(self, root):
+        root.attach_thread(30)
+        root.attach_thread(10)
+        assert root.threads_file() == "10\n30\n"
+
+    def test_procs_file_matches_threads(self, root):
+        root.attach_thread(5)
+        assert root.procs_file() == root.threads_file()

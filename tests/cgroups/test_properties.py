@@ -1,0 +1,99 @@
+"""Property-based tests of cgroup file formats and tree invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgroups.cpu import (
+    CpuController,
+    DEFAULT_PERIOD_US,
+    QuotaSpec,
+    UNLIMITED,
+    parse_cpu_stat,
+)
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.cgroups.procfs import ThreadStat, parse_stat_line
+
+
+class TestQuotaRoundTrips:
+    @given(
+        quota=st.one_of(st.just(UNLIMITED), st.integers(0, 10**9)),
+        period=st.integers(1_000, 1_000_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_v2_format_roundtrip(self, quota, period):
+        q = QuotaSpec(quota_us=quota, period_us=period)
+        assert QuotaSpec.from_v2(q.to_v2()) == q
+
+    @given(
+        quota=st.one_of(st.just(UNLIMITED), st.integers(1_000, 10**8)),
+        period=st.integers(1_000, 1_000_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_v1_file_roundtrip(self, quota, period):
+        fs = CgroupFS(CgroupVersion.V1)
+        fs.makedirs("/g")
+        fs.write("/g/cpu.cfs_period_us", str(period))
+        fs.write("/g/cpu.cfs_quota_us", str(quota))
+        got = fs.get_quota("/g")
+        assert got.period_us == period
+        assert got.quota_us == quota
+
+    @given(st.integers(0, 10**9), st.integers(1_000, 1_000_000))
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_definition(self, quota, period):
+        q = QuotaSpec(quota, period)
+        assert q.ratio() == pytest.approx(quota / period)
+
+
+class TestStatRoundTrips:
+    @given(st.integers(0, 10**12))
+    @settings(max_examples=100, deadline=None)
+    def test_cpu_stat_usage_roundtrip(self, usec):
+        c = CpuController()
+        c.usage_usec = usec
+        assert parse_cpu_stat(c.stat_v2())["usage_usec"] == usec
+
+    # proc(5) comm: any non-newline text, including ')' and spaces
+    _comm = st.text(
+        alphabet=st.characters(blacklist_characters="\n\0", min_codepoint=32),
+        min_size=1,
+        max_size=16,
+    )
+
+    @given(
+        tid=st.integers(1, 2**22),
+        comm=_comm,
+        processor=st.integers(0, 1023),
+        utime=st.integers(0, 10**9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_proc_stat_roundtrip(self, tid, comm, processor, utime):
+        line = ThreadStat(
+            tid=tid, comm=comm, processor=processor, utime_ticks=utime
+        ).render()
+        parsed = parse_stat_line(line)
+        assert parsed.tid == tid
+        assert parsed.comm == comm
+        assert parsed.processor == processor
+        assert parsed.utime_ticks == utime
+
+
+class TestWeightSharesMapping:
+    @given(st.integers(1, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_v1_shares_mapping_monotone(self, weight):
+        a, b = CpuController(), CpuController()
+        a.weight = weight
+        b.weight = min(10_000, weight + 1)
+        assert int(a.shares_v1()) <= int(b.shares_v1())
+
+    @given(st.integers(2, 200_000))
+    @settings(max_examples=100, deadline=None)
+    def test_shares_write_read_consistent(self, shares):
+        fs = CgroupFS(CgroupVersion.V1)
+        fs.makedirs("/g")
+        fs.write("/g/cpu.shares", str(shares))
+        back = int(fs.read("/g/cpu.shares"))
+        # one write/read cycle lands within rounding of the original
+        assert back == pytest.approx(shares, rel=0.05, abs=16)

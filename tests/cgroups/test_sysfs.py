@@ -1,0 +1,53 @@
+"""Unit tests for repro.cgroups.sysfs — cpufreq sysfs emulation."""
+
+import pytest
+
+from repro.cgroups.sysfs import CpuFreqSysFS
+
+
+@pytest.fixture
+def sysfs():
+    return CpuFreqSysFS(
+        freqs_khz=[2_400_000.0, 1_200_000.0], min_khz=1_200_000, max_khz=2_400_000
+    )
+
+
+class TestReads:
+    def test_scaling_cur_freq_by_core(self, sysfs):
+        assert sysfs.scaling_cur_freq(0) == 2_400_000
+        assert sysfs.scaling_cur_freq(1) == 1_200_000
+
+    def test_path_read(self, sysfs):
+        content = sysfs.read("/sys/devices/system/cpu/cpu1/cpufreq/scaling_cur_freq")
+        assert content == "1200000\n"
+
+    def test_min_max_files(self, sysfs):
+        assert sysfs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_min_freq") == "1200000\n"
+        assert sysfs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq") == "2400000\n"
+        assert sysfs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_max_freq") == "2400000\n"
+
+    def test_unknown_cpu(self, sysfs):
+        with pytest.raises(FileNotFoundError):
+            sysfs.scaling_cur_freq(9)
+
+    def test_non_cpu_path(self, sysfs):
+        with pytest.raises(FileNotFoundError):
+            sysfs.read("/sys/devices/system/memory/whatever")
+
+    def test_unknown_file(self, sysfs):
+        with pytest.raises(FileNotFoundError):
+            sysfs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+
+
+class TestUpdate:
+    def test_update_changes_readings(self, sysfs):
+        sysfs.update([1_500_000.0, 1_500_000.0])
+        assert sysfs.scaling_cur_freq(0) == 1_500_000
+
+    def test_update_rejects_core_count_change(self, sysfs):
+        with pytest.raises(ValueError):
+            sysfs.update([1.0])
+
+    def test_values_rounded_like_kernel(self):
+        sysfs = CpuFreqSysFS([1_234_567.89], 1_000_000, 3_000_000)
+        assert sysfs.scaling_cur_freq(0) == 1_234_568

@@ -1,0 +1,73 @@
+"""Shared fixtures: a tiny fast node and a fully wired mini-host."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgroups.fs import CgroupVersion
+from repro.core.config import ControllerConfig
+from repro.core.controller import VirtualFrequencyController
+from repro.hw.node import Node
+from repro.hw.nodespecs import NodeSpec
+from repro.virt.hypervisor import Hypervisor
+
+
+TINY = NodeSpec(
+    name="tiny",
+    cpu_model="test 4-thread CPU",
+    sockets=1,
+    cores_per_socket=2,
+    threads_per_core=2,
+    fmax_mhz=2400.0,
+    fmin_mhz=1200.0,
+    memory_mb=16 * 1024,
+    freq_jitter_mhz=0.0,  # deterministic by default
+)
+
+
+@pytest.fixture
+def tiny_spec() -> NodeSpec:
+    return TINY
+
+
+@pytest.fixture(params=[CgroupVersion.V2, CgroupVersion.V1], ids=["v2", "v1"])
+def cgroup_version(request) -> CgroupVersion:
+    return request.param
+
+
+@pytest.fixture
+def node(tiny_spec) -> Node:
+    return Node(tiny_spec, seed=42)
+
+
+@pytest.fixture
+def hypervisor(node) -> Hypervisor:
+    return Hypervisor(node)
+
+
+@pytest.fixture
+def controller(node) -> VirtualFrequencyController:
+    return VirtualFrequencyController(
+        node.fs,
+        node.procfs,
+        node.sysfs,
+        num_cpus=node.spec.logical_cpus,
+        fmax_mhz=node.spec.fmax_mhz,
+        config=ControllerConfig.paper_evaluation(),
+    )
+
+
+def make_host(spec: NodeSpec = TINY, *, version: CgroupVersion = CgroupVersion.V2,
+              config: ControllerConfig | None = None, seed: int = 42):
+    """Node + hypervisor + controller, wired like the scenario builder."""
+    node = Node(spec, cgroup_version=version, seed=seed)
+    hv = Hypervisor(node)
+    ctrl = VirtualFrequencyController(
+        node.fs,
+        node.procfs,
+        node.sysfs,
+        num_cpus=spec.logical_cpus,
+        fmax_mhz=spec.fmax_mhz,
+        config=config or ControllerConfig.paper_evaluation(),
+    )
+    return node, hv, ctrl

@@ -1,0 +1,142 @@
+"""Tests for stage 4 — the cycles auction (Eq. 6 + Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import compute_market, run_auction
+from repro.core.config import ControllerConfig
+from repro.core.credits import CreditLedger
+
+
+def ledger_with(**balances):
+    ledger = CreditLedger(ControllerConfig.paper_evaluation())
+    for vm, amount in balances.items():
+        ledger.accrue(vm, [0.0], amount)
+    return ledger
+
+
+class TestMarket:
+    def test_eq6(self):
+        market = compute_market(40e6, {"/a": 10e6, "/b": 20e6})
+        assert market == pytest.approx(10e6)
+
+    def test_never_negative(self):
+        assert compute_market(5.0, {"/a": 10.0}) == 0.0
+
+    def test_rejects_negative_market(self):
+        with pytest.raises(ValueError):
+            run_auction(-1.0, {}, {}, ledger_with(), window=1.0)
+
+
+class TestAuction:
+    def test_single_buyer_buys_up_to_need(self):
+        ledger = ledger_with(vm1=1e6)
+        out = run_auction(
+            500_000.0, {"/v": 200_000.0}, {"/v": "vm1"}, ledger, window=50_000.0
+        )
+        assert out.purchased["/v"] == pytest.approx(200_000.0)
+        assert out.market_left == pytest.approx(300_000.0)
+        assert ledger.balance("vm1") == pytest.approx(1e6 - 200_000.0)
+
+    def test_purchase_limited_by_credits(self):
+        ledger = ledger_with(vm1=60_000.0)
+        out = run_auction(
+            500_000.0, {"/v": 200_000.0}, {"/v": "vm1"}, ledger, window=50_000.0
+        )
+        assert out.purchased["/v"] == pytest.approx(60_000.0)
+        assert ledger.balance("vm1") == pytest.approx(0.0)
+
+    def test_purchase_limited_by_market(self):
+        ledger = ledger_with(vm1=1e6)
+        out = run_auction(
+            30_000.0, {"/v": 200_000.0}, {"/v": "vm1"}, ledger, window=50_000.0
+        )
+        assert out.purchased["/v"] == pytest.approx(30_000.0)
+        assert out.market_left == pytest.approx(0.0, abs=1e-6)
+
+    def test_window_prevents_single_round_grab(self):
+        """Two buyers, one rich: the window forces alternation, so the poor
+        VM still gets its share before the rich one drains the market."""
+        ledger = ledger_with(rich=1e6, poor=50_000.0)
+        out = run_auction(
+            100_000.0,
+            {"/r": 100_000.0, "/p": 100_000.0},
+            {"/r": "rich", "/p": "poor"},
+            ledger,
+            window=10_000.0,
+        )
+        assert out.purchased["/p"] == pytest.approx(50_000.0)
+        assert out.purchased["/r"] == pytest.approx(50_000.0)
+        assert out.rounds >= 5
+
+    def test_priority_to_larger_wallet_each_round(self):
+        ledger = ledger_with(a=30_000.0, b=20_000.0)
+        out = run_auction(
+            10_000.0,
+            {"/a": 50_000.0, "/b": 50_000.0},
+            {"/a": "a", "/b": "b"},
+            ledger,
+            window=10_000.0,
+        )
+        # One window fits: the richer VM (a) gets it.
+        assert out.purchased.get("/a", 0.0) == pytest.approx(10_000.0)
+        assert "/b" not in out.purchased
+
+    def test_stops_when_no_buyer_has_credits(self):
+        ledger = ledger_with()  # all wallets empty
+        out = run_auction(
+            100_000.0, {"/v": 100_000.0}, {"/v": "vm1"}, ledger, window=10_000.0
+        )
+        assert out.purchased == {}
+        assert out.market_left == pytest.approx(100_000.0)
+
+    def test_multi_vcpu_vm_spreads_purchase(self):
+        ledger = ledger_with(vm=100_000.0)
+        out = run_auction(
+            100_000.0,
+            {"/v0": 30_000.0, "/v1": 30_000.0},
+            {"/v0": "vm", "/v1": "vm"},
+            ledger,
+            window=100_000.0,
+        )
+        assert out.purchased["/v0"] + out.purchased["/v1"] == pytest.approx(60_000.0)
+
+    def test_empty_demand_short_circuit(self):
+        out = run_auction(100.0, {}, {}, ledger_with(), window=10.0)
+        assert out.purchased == {}
+        assert out.market_left == 100.0
+
+
+class TestAuctionProperties:
+    @given(
+        market=st.floats(0, 1e6),
+        needs=st.lists(st.floats(0, 5e5), min_size=1, max_size=8),
+        credits=st.lists(st.floats(0, 5e5), min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_conservation_and_payment(self, market, needs, credits):
+        n = min(len(needs), len(credits))
+        demands = {f"/v{i}": needs[i] for i in range(n)}
+        vm_of = {f"/v{i}": f"vm{i}" for i in range(n)}
+        ledger = CreditLedger(ControllerConfig.paper_evaluation())
+        for i in range(n):
+            ledger.accrue(f"vm{i}", [0.0], credits[i])
+        before = {f"vm{i}": ledger.balance(f"vm{i}") for i in range(n)}
+
+        out = run_auction(market, demands, vm_of, ledger, window=25_000.0)
+
+        sold = sum(out.purchased.values())
+        # cycles conserved
+        assert sold + out.market_left == pytest.approx(market, abs=1e-3)
+        # nobody exceeds demand
+        for path, bought in out.purchased.items():
+            assert bought <= demands[path] + 1e-6
+        # every cycle is paid for 1:1
+        for i in range(n):
+            spent = before[f"vm{i}"] - ledger.balance(f"vm{i}")
+            bought = sum(
+                v for p, v in out.purchased.items() if vm_of[p] == f"vm{i}"
+            )
+            assert spent == pytest.approx(bought, abs=1e-3)
+            assert ledger.balance(f"vm{i}") >= -1e-9

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_eval1_defaults(self):
+        args = build_parser().parse_args(["eval1"])
+        assert args.node == "chetemi"
+        assert args.config == "both"
+        assert args.duration == 600.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestCommands:
+    def test_eval1_quick(self, capsys):
+        rc = main([
+            "eval1", "--node", "chetemi", "--config", "B",
+            "--duration", "10", "--time-scale", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "configuration B" in out
+        assert "small MHz" in out
+        assert "controller iteration cost" in out
+
+    def test_eval2_quick(self, capsys):
+        rc = main(["eval2", "--config", "A", "--duration", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "medium MHz" in out
+
+    def test_placement(self, capsys):
+        rc = main(["placement"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "core splitting (Eq. 7)" in out
+        assert "vCPU count x1.8" in out
+        # the three node counts appear
+        assert "22/22" in out
+        assert "15/22" in out
+
+    def test_eval1_scores_path(self, capsys):
+        rc = main([
+            "eval1", "--config", "B", "--duration", "400",
+            "--time-scale", "0.05", "--scores",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scores, configuration B" in out
+        assert "iteration" in out
+
+    def test_eval1_chart(self, capsys):
+        rc = main([
+            "eval1", "--config", "A", "--duration", "6",
+            "--time-scale", "0.5", "--chart",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "* small MHz" in out  # chart legend
+
+    def test_overhead(self, capsys):
+        rc = main(["overhead", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "monitor" in out
+        assert "total" in out
+
+    def test_operator(self, capsys):
+        rc = main(["operator", "--horizon", "60", "--rate", "0.2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "operator study" in out
+        assert "Eq.7 + controller" in out

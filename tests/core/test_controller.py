@@ -1,0 +1,186 @@
+"""End-to-end controller tests on a tiny simulated host.
+
+These drive the full six-stage loop through the kernel surfaces exactly
+as a real deployment would, using the simulation engine for physics.
+"""
+
+import pytest
+
+from repro.cgroups.fs import CgroupVersion
+from repro.core.config import ControllerConfig
+from repro.core.units import guaranteed_cycles
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload, IdleWorkload, StepWorkload
+from tests.conftest import TINY, make_host
+
+# tiny host: 4 logical cpus @ 2400 MHz -> capacity 9600 MHz.
+FAST = VMTemplate("fast", vcpus=1, vfreq_mhz=1800.0)
+SLOW = VMTemplate("slow", vcpus=1, vfreq_mhz=400.0)
+
+
+def run_sim(node, hv, ctrl, seconds, dt=0.5):
+    sim = Simulation(node, hv, controller=ctrl, dt=dt)
+    sim.run(seconds)
+    return sim
+
+
+class TestGuaranteeEnforcement:
+    def test_contended_host_converges_to_guarantees(self):
+        """4 slow + 2 fast single-vCPU VMs all flat out on 4 cpus:
+        committed = 4*400 + 2*1800 = 5200 <= 9600; every VM should end up
+        at least at its guarantee, and fast VMs well above slow ones."""
+        node, hv, ctrl = make_host()
+        for k in range(4):
+            vm = hv.provision(SLOW, f"slow-{k}")
+            ctrl.register_vm(vm.name, SLOW.vfreq_mhz)
+            attach(vm, ConstantWorkload(1))
+        for k in range(2):
+            vm = hv.provision(FAST, f"fast-{k}")
+            ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+            attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 60.0)
+        report = ctrl.reports[-1]
+        allocs = report.allocations
+        slow_cycles = guaranteed_cycles(1.0, 400.0, 2400.0)
+        fast_cycles = guaranteed_cycles(1.0, 1800.0, 2400.0)
+        for path, cycles in allocs.items():
+            if "slow" in path:
+                assert cycles >= slow_cycles * 0.95
+            else:
+                assert cycles >= fast_cycles * 0.95
+
+    def test_lone_vm_gets_boosted_beyond_guarantee(self):
+        """The paper's anti-waste goal: a 400 MHz VM alone on an idle node
+        must be allowed to burst far beyond its guarantee."""
+        node, hv, ctrl = make_host()
+        vm = hv.provision(SLOW, "solo")
+        ctrl.register_vm(vm.name, SLOW.vfreq_mhz)
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 40.0)
+        alloc = list(ctrl.reports[-1].allocations.values())[0]
+        assert alloc > guaranteed_cycles(1.0, 400.0, 2400.0) * 2
+
+    def test_idle_vm_is_not_allocated_its_guarantee(self):
+        """Eq. 5: the guarantee is enforced only when the estimate says it
+        will be used; idle VMs keep only the floor capping."""
+        node, hv, ctrl = make_host()
+        cfg = ctrl.config
+        vm = hv.provision(FAST, "idler")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, IdleWorkload(1))
+        run_sim(node, hv, ctrl, 30.0)
+        alloc = list(ctrl.reports[-1].allocations.values())[0]
+        assert alloc <= cfg.min_cap_frac * 1e6 * 1.5
+
+
+class TestMarketDynamics:
+    def test_neighbor_idle_means_bigger_market(self):
+        node, hv, ctrl = make_host()
+        busy = hv.provision(FAST, "busy")
+        idle = hv.provision(FAST, "idle")
+        for vm in (busy, idle):
+            ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(busy, ConstantWorkload(1))
+        attach(idle, IdleWorkload(1))
+        run_sim(node, hv, ctrl, 30.0)
+        report = ctrl.reports[-1]
+        # idle VM's guarantee stays in the market; busy VM buys/receives it
+        busy_alloc = report.allocations["/machine.slice/busy/vcpu0"]
+        assert busy_alloc > guaranteed_cycles(1.0, 1800.0, 2400.0)
+
+    def test_frugal_vm_accumulates_credits(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(FAST, "frugal")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, IdleWorkload(1))
+        run_sim(node, hv, ctrl, 10.0)
+        assert ctrl.ledger.balance("frugal") > 0
+
+    def test_burst_reclaimed_when_guarantee_needed(self):
+        """A VM bursting on spare cycles must fall back towards its
+        guarantee when a neighbour wakes up and claims its own."""
+        node, hv, ctrl = make_host()
+        a = hv.provision(FAST, "a")
+        b = hv.provision(FAST, "b")
+        for vm in (a, b):
+            ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(a, ConstantWorkload(1))
+        attach(b, StepWorkload(1, times=[30.0], levels=[0.0, 1.0]))
+        sim = run_sim(node, hv, ctrl, 80.0)
+        report = ctrl.reports[-1]
+        fast_cycles = guaranteed_cycles(1.0, 1800.0, 2400.0)
+        # both get at least the guarantee at the end
+        assert report.allocations["/machine.slice/a/vcpu0"] >= fast_cycles * 0.9
+        assert report.allocations["/machine.slice/b/vcpu0"] >= fast_cycles * 0.9
+
+
+class TestConfigurationA:
+    def test_monitoring_only_never_caps(self):
+        node, hv, ctrl = make_host(config=ControllerConfig.paper_evaluation().monitoring_only())
+        vm = hv.provision(FAST, "vm")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 10.0)
+        assert node.fs.get_quota("/machine.slice/vm/vcpu0").unlimited
+        assert ctrl.reports[-1].allocations == {}
+
+    def test_monitoring_still_produces_samples(self):
+        node, hv, ctrl = make_host(config=ControllerConfig.paper_evaluation().monitoring_only())
+        vm = hv.provision(FAST, "vm")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 10.0)
+        assert len(ctrl.reports[-1].samples) == 1
+        assert ctrl.reports[-1].samples[0].vfreq_mhz > 0
+
+
+class TestRegistry:
+    def test_unregistered_vm_ignored(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(FAST, "anon")
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 5.0)
+        assert ctrl.reports[-1].samples == []
+
+    def test_register_validates_against_fmax(self, controller):
+        with pytest.raises(ValueError):
+            controller.register_vm("vm", 2401.0)
+        with pytest.raises(ValueError):
+            controller.register_vm("vm", 0.0)
+
+    def test_unregister_clears_state(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(FAST, "vm")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 5.0)
+        ctrl.unregister_vm("vm")
+        assert ctrl.ledger.balance("vm") == 0.0
+        assert ctrl.estimator.history("/machine.slice/vm/vcpu0").size == 0
+
+
+class TestCgroupV1:
+    def test_full_loop_works_on_v1(self):
+        node, hv, ctrl = make_host(version=CgroupVersion.V1)
+        vm = hv.provision(FAST, "vm")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 20.0)
+        quota = node.fs.get_quota("/machine.slice/vm/vcpu0")
+        assert not quota.unlimited
+
+
+class TestOverheadAccounting:
+    def test_timings_recorded(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(FAST, "vm")
+        ctrl.register_vm(vm.name, FAST.vfreq_mhz)
+        attach(vm, ConstantWorkload(1))
+        run_sim(node, hv, ctrl, 5.0)
+        assert ctrl.mean_iteration_seconds() > 0
+        t = ctrl.reports[-1].timings
+        assert t.total == pytest.approx(
+            t.monitor + t.estimate + t.credits + t.auction + t.distribute + t.enforce
+        )

@@ -1,0 +1,88 @@
+"""Tests for stage 3 — credits (Eq. 4) and base capping (Eq. 5)."""
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.credits import CreditLedger, apply_base_capping
+
+
+@pytest.fixture
+def ledger():
+    return CreditLedger(ControllerConfig.paper_evaluation())
+
+
+class TestEq4Accrual:
+    def test_underconsumption_earns_difference(self, ledger):
+        # C_i = 200k, two vCPUs consumed 50k and 150k -> earn 150k + 50k.
+        gain = ledger.accrue("vm", [50_000, 150_000], 200_000)
+        assert gain == pytest.approx(200_000)
+        assert ledger.balance("vm") == pytest.approx(200_000)
+
+    def test_overconsumption_earns_nothing(self, ledger):
+        gain = ledger.accrue("vm", [250_000, 300_000], 200_000)
+        assert gain == 0.0
+
+    def test_mixed_vcpus_only_frugal_ones_count(self, ledger):
+        gain = ledger.accrue("vm", [100_000, 500_000], 200_000)
+        assert gain == pytest.approx(100_000)
+
+    def test_accrual_accumulates_over_iterations(self, ledger):
+        ledger.accrue("vm", [0.0], 100_000)
+        ledger.accrue("vm", [0.0], 100_000)
+        assert ledger.balance("vm") == pytest.approx(200_000)
+
+    def test_credit_cap_enforced(self):
+        cfg = ControllerConfig(credit_cap=150_000.0)
+        ledger = CreditLedger(cfg)
+        ledger.accrue("vm", [0.0], 100_000)
+        ledger.accrue("vm", [0.0], 100_000)
+        assert ledger.balance("vm") == pytest.approx(150_000)
+
+    def test_negative_guarantee_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.accrue("vm", [0.0], -1.0)
+
+
+class TestSpend:
+    def test_spend_deducts(self, ledger):
+        ledger.accrue("vm", [0.0], 100_000)
+        ledger.spend("vm", 40_000)
+        assert ledger.balance("vm") == pytest.approx(60_000)
+
+    def test_overspend_rejected(self, ledger):
+        ledger.accrue("vm", [0.0], 100_000)
+        with pytest.raises(ValueError):
+            ledger.spend("vm", 100_001)
+
+    def test_negative_spend_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.spend("vm", -1.0)
+
+    def test_unknown_vm_has_zero_balance(self, ledger):
+        assert ledger.balance("ghost") == 0.0
+
+    def test_forget(self, ledger):
+        ledger.accrue("vm", [0.0], 100_000)
+        ledger.forget("vm")
+        assert ledger.balance("vm") == 0.0
+
+
+class TestEq5BaseCapping:
+    def test_estimate_below_guarantee_passes_through(self):
+        caps = apply_base_capping({"/v0": 80_000.0}, {"/v0": 200_000.0})
+        assert caps["/v0"].cycles == pytest.approx(80_000.0)
+        assert not caps["/v0"].wants_more
+
+    def test_estimate_above_guarantee_clamped(self):
+        caps = apply_base_capping({"/v0": 900_000.0}, {"/v0": 200_000.0})
+        assert caps["/v0"].cycles == pytest.approx(200_000.0)
+        assert caps["/v0"].wants_more
+
+    def test_estimate_equal_guarantee_not_a_buyer(self):
+        caps = apply_base_capping({"/v0": 200_000.0}, {"/v0": 200_000.0})
+        assert caps["/v0"].cycles == pytest.approx(200_000.0)
+        assert not caps["/v0"].wants_more
+
+    def test_missing_guarantee_raises(self):
+        with pytest.raises(KeyError):
+            apply_base_capping({"/v0": 1.0}, {})

@@ -1,0 +1,32 @@
+"""Tests for stage 5 — free distribution of unsold cycles."""
+
+import pytest
+
+from repro.core.distribute import distribute_leftovers
+
+
+class TestDistribute:
+    def test_proportional_to_residual_demand(self):
+        out = distribute_leftovers(90.0, {"/a": 100.0, "/b": 200.0})
+        assert out["/a"] == pytest.approx(30.0)
+        assert out["/b"] == pytest.approx(60.0)
+
+    def test_capped_at_demand_when_plentiful(self):
+        out = distribute_leftovers(1000.0, {"/a": 100.0, "/b": 200.0})
+        assert out["/a"] == pytest.approx(100.0)
+        assert out["/b"] == pytest.approx(200.0)
+
+    def test_zero_market(self):
+        assert distribute_leftovers(0.0, {"/a": 10.0}) == {}
+
+    def test_no_demand(self):
+        assert distribute_leftovers(100.0, {}) == {}
+        assert distribute_leftovers(100.0, {"/a": 0.0}) == {}
+
+    def test_negative_market_rejected(self):
+        with pytest.raises(ValueError):
+            distribute_leftovers(-1.0, {"/a": 10.0})
+
+    def test_total_never_exceeds_market(self):
+        out = distribute_leftovers(50.0, {"/a": 100.0, "/b": 300.0, "/c": 1.0})
+        assert sum(out.values()) <= 50.0 + 1e-9

@@ -1,0 +1,93 @@
+"""Tests for stage 6 — writing cycle allocations as cgroup quotas."""
+
+import pytest
+
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.core.config import ControllerConfig
+from repro.core.enforcer import MIN_QUOTA_US, Enforcer
+
+
+def make(version=CgroupVersion.V2):
+    fs = CgroupFS(version)
+    fs.makedirs("/machine.slice/vm/vcpu0")
+    return fs, Enforcer(fs, ControllerConfig.paper_evaluation())
+
+
+class TestQuotaScaling:
+    def test_full_core_allocation(self):
+        fs, enf = make()
+        # 1e6 cycles over p=1s -> 100 % of the 100 ms enforcement period.
+        quota = enf.apply_one("/machine.slice/vm/vcpu0", 1_000_000.0)
+        assert quota == 100_000
+
+    def test_guarantee_scaling_small_template(self):
+        fs, enf = make()
+        cycles = 1e6 * 500 / 2400  # small's C_i on chetemi
+        quota = enf.apply_one("/machine.slice/vm/vcpu0", cycles)
+        assert quota == pytest.approx(100_000 * 500 / 2400, abs=1)
+
+    def test_kernel_minimum_respected(self):
+        fs, enf = make()
+        quota = enf.apply_one("/machine.slice/vm/vcpu0", 1.0)
+        assert quota == MIN_QUOTA_US
+
+    def test_negative_rejected(self):
+        _, enf = make()
+        with pytest.raises(ValueError):
+            enf.apply_one("/machine.slice/vm/vcpu0", -1.0)
+
+
+class TestWrites:
+    def test_v2_cpu_max_written(self):
+        fs, enf = make()
+        enf.apply_one("/machine.slice/vm/vcpu0", 500_000.0)
+        assert fs.read("/machine.slice/vm/vcpu0/cpu.max") == "50000 100000\n"
+
+    def test_v1_files_written(self):
+        fs, enf = make(CgroupVersion.V1)
+        enf.apply_one("/machine.slice/vm/vcpu0", 500_000.0)
+        assert fs.read("/machine.slice/vm/vcpu0/cpu.cfs_quota_us") == "50000\n"
+        assert fs.read("/machine.slice/vm/vcpu0/cpu.cfs_period_us") == "100000\n"
+
+    def test_scheduler_sees_the_cap(self):
+        fs, enf = make()
+        enf.apply_one("/machine.slice/vm/vcpu0", 250_000.0)
+        assert fs.get_quota("/machine.slice/vm/vcpu0").ratio() == pytest.approx(0.25)
+
+    def test_apply_many(self):
+        fs, enf = make()
+        fs.makedirs("/machine.slice/vm/vcpu1")
+        written = enf.apply(
+            {"/machine.slice/vm/vcpu0": 1e5, "/machine.slice/vm/vcpu1": 2e5}
+        )
+        assert written == {
+            "/machine.slice/vm/vcpu0": 10_000,
+            "/machine.slice/vm/vcpu1": 20_000,
+        }
+
+
+class TestUncap:
+    def test_v2_uncap(self):
+        fs, enf = make()
+        enf.apply_one("/machine.slice/vm/vcpu0", 1e5)
+        enf.uncap("/machine.slice/vm/vcpu0")
+        assert fs.get_quota("/machine.slice/vm/vcpu0").unlimited
+
+    def test_v1_uncap(self):
+        fs, enf = make(CgroupVersion.V1)
+        enf.apply_one("/machine.slice/vm/vcpu0", 1e5)
+        enf.uncap("/machine.slice/vm/vcpu0")
+        assert fs.get_quota("/machine.slice/vm/vcpu0").unlimited
+
+
+class TestState:
+    def test_cycles_written_roundtrip(self):
+        _, enf = make()
+        enf.apply_one("/machine.slice/vm/vcpu0", 420_000.0)
+        assert enf.cycles_written("/machine.slice/vm/vcpu0") == pytest.approx(
+            420_000.0, abs=10.0
+        )
+
+    def test_unknown_path_is_nan(self):
+        _, enf = make()
+        assert enf.cycles_written("/ghost") != enf.cycles_written("/ghost")  # NaN

@@ -1,0 +1,154 @@
+"""Tests for stage 2 — trend estimation (Eq. 3) and the three cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.estimator import Case, TrendEstimator, trend_slope
+
+P_US = 1_000_000.0
+
+
+@pytest.fixture
+def cfg():
+    return ControllerConfig.paper_evaluation()
+
+
+@pytest.fixture
+def est(cfg):
+    return TrendEstimator(cfg)
+
+
+def feed(est, path, values):
+    for v in values:
+        est.observe(path, v)
+
+
+class TestTrendSlope:
+    def test_increasing_series_positive(self):
+        assert trend_slope(np.array([1.0, 2.0, 3.0, 4.0])) > 0
+
+    def test_decreasing_series_negative(self):
+        assert trend_slope(np.array([4.0, 3.0, 2.0, 1.0])) < 0
+
+    def test_flat_series_zero(self):
+        assert trend_slope(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_linear_slope_value(self):
+        # consumption rising 100 cycles/iteration -> slope 100
+        assert trend_slope(np.array([0.0, 100.0, 200.0, 300.0])) == pytest.approx(100.0)
+
+    def test_too_short_history(self):
+        assert trend_slope(np.array([1.0])) == 0.0
+        assert trend_slope(np.zeros(0)) == 0.0
+
+    def test_literal_variant_same_sign(self):
+        """The paper-literal Eq. 3 (S_n centring) agrees in sign with the
+        least-squares slope — the property the controller consumes."""
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            hist = rng.uniform(0, 1e6, size=5)
+            std = trend_slope(hist)
+            lit = trend_slope(hist, literal=True)
+            if abs(std) > 1e-6:
+                assert np.sign(std) == np.sign(lit)
+
+
+class TestIncreaseCase:
+    def test_rising_consumption_above_trigger_doubles_cap(self, est, cfg):
+        path = "/m/vm/vcpu0"
+        cap = 200_000.0
+        # consumption climbing, last value at 96 % of cap (> 95 % trigger)
+        feed(est, path, [100_000, 140_000, 180_000, 192_000])
+        d = est.decide(path, cap)
+        assert d.case is Case.INCREASE
+        assert d.estimate_cycles == pytest.approx(cap * cfg.increase_mult)
+
+    def test_rising_but_below_trigger_is_stable(self, est):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [10_000, 20_000, 30_000, 40_000])
+        d = est.decide(path, 200_000.0)  # 40k << 95 % of 200k
+        assert d.case is Case.STABLE
+
+    def test_estimate_never_exceeds_one_core(self, est):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [800_000, 900_000, 950_000, 960_000])
+        d = est.decide(path, P_US)
+        assert d.estimate_cycles <= P_US
+
+    def test_saturated_at_cap_grows_even_with_flat_trend(self, est, cfg):
+        """A vCPU pinned at its cap shows a flat history (it *can't* rise);
+        it must still be treated as wanting more."""
+        path = "/m/vm/vcpu0"
+        feed(est, path, [100_000] * 5)
+        d = est.decide(path, 100_000.0)
+        assert d.case is Case.INCREASE
+        assert d.estimate_cycles == pytest.approx(100_000.0 * cfg.increase_mult)
+
+
+class TestDecreaseCase:
+    def test_falling_consumption_below_trigger_shrinks(self, est, cfg):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [500_000, 300_000, 150_000, 80_000])
+        cap = 400_000.0  # 80k < 50 % of 400k
+        d = est.decide(path, cap)
+        assert d.case is Case.DECREASE
+        assert d.estimate_cycles == pytest.approx(cap * cfg.decrease_mult)
+
+    def test_gentle_decrease_never_below_current_use(self, est):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [500_000, 480_000, 400_000, 390_000])
+        d = est.decide(path, 800_000.0)
+        assert d.estimate_cycles >= 390_000.0
+
+    def test_falling_but_above_trigger_is_stable(self, est):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [500_000, 480_000, 460_000, 440_000])
+        d = est.decide(path, 500_000.0)  # 440k > 50 % of 500k
+        assert d.case is Case.STABLE
+
+
+class TestStableCase:
+    def test_stable_pins_just_above_consumption(self, est, cfg):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [300_000] * 5)
+        d = est.decide(path, 500_000.0)
+        assert d.case is Case.STABLE
+        assert d.estimate_cycles == pytest.approx(300_000.0 / cfg.increase_trigger)
+        # ... which indeed avoids triggering the increase next iteration:
+        assert 300_000.0 < cfg.increase_trigger * d.estimate_cycles + 1e-6
+
+    def test_floor_respected(self, est, cfg):
+        path = "/m/vm/vcpu0"
+        feed(est, path, [0.0] * 5)
+        d = est.decide(path, 500_000.0)
+        assert d.estimate_cycles >= cfg.min_cap_frac * P_US
+
+
+class TestWarmup:
+    def test_no_history_keeps_cap(self, est):
+        d = est.decide("/fresh", 700_000.0)
+        assert d.case is Case.WARMUP
+        assert d.estimate_cycles == pytest.approx(700_000.0)
+
+    def test_single_observation(self, est):
+        est.observe("/one", 300_000.0)
+        d = est.decide("/one", 500_000.0)
+        assert d.case is Case.WARMUP
+
+
+class TestHistory:
+    def test_window_length_bounded(self, est, cfg):
+        feed(est, "/p", range(20))
+        assert len(est.history("/p")) == cfg.history_len
+
+    def test_forget(self, est):
+        est.observe("/p", 1.0)
+        est.forget("/p")
+        assert est.history("/p").size == 0
+
+    def test_independent_paths(self, est):
+        est.observe("/a", 1.0)
+        est.observe("/b", 2.0)
+        assert est.history("/a").tolist() == [1.0]
+        assert est.history("/b").tolist() == [2.0]

@@ -1,0 +1,69 @@
+"""Tests for the Prometheus exposition-format exporter."""
+
+import re
+
+import pytest
+
+from repro.core.metrics_export import render_controller, render_report
+from repro.core.controller import ControllerReport
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload
+from tests.conftest import make_host
+
+T = VMTemplate("m", vcpus=1, vfreq_mhz=1200.0)
+
+
+def warmed_controller():
+    node, hv, ctrl = make_host()
+    vm = hv.provision(T, "vm-a")
+    ctrl.register_vm("vm-a", T.vfreq_mhz)
+    attach(vm, ConstantWorkload(1))
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(5.0)
+    return ctrl
+
+
+class TestExport:
+    def test_contains_all_metric_families(self):
+        out = render_controller(warmed_controller())
+        for family in (
+            "vfreq_vcpu_consumed_cycles",
+            "vfreq_vcpu_estimated_mhz",
+            "vfreq_vcpu_allocated_cycles",
+            "vfreq_vm_credit_cycles",
+            "vfreq_market_initial_cycles",
+            "vfreq_iteration_seconds",
+        ):
+            assert f"# TYPE {family} gauge" in out
+            assert re.search(rf"^{family}(\{{|\s)", out, re.M), family
+
+    def test_labels_formatted(self):
+        out = render_controller(warmed_controller())
+        assert re.search(r'vfreq_vcpu_estimated_mhz\{vcpu="0",vm="vm-a"\} \d', out)
+
+    def test_stage_labels(self):
+        out = render_controller(warmed_controller())
+        for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
+            assert f'vfreq_iteration_seconds{{stage="{stage}"}}' in out
+
+    def test_exposition_format_shape(self):
+        """Every non-comment line is `name{labels} value` or `name value`."""
+        out = render_controller(warmed_controller())
+        pattern = re.compile(r"^[a-z_]+(\{[^}]*\})? -?[0-9.e+na-]+$", re.I)
+        for line in out.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert pattern.match(line), line
+
+    def test_empty_controller_renders(self):
+        node, hv, ctrl = make_host()
+        out = render_controller(ctrl)
+        assert "vfreq_market_initial_cycles 0" in out
+
+    def test_label_escaping(self):
+        report = ControllerReport(t=0.0)
+        report.wallets = {'we"ird\nname': 5.0}
+        out = render_report(report)
+        assert 'vm="we\\"ird\\nname"' in out

@@ -1,0 +1,87 @@
+"""Tests for the reserve_guarantee extension (waste-for-SLA trade)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.units import guaranteed_cycles
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload, IdleWorkload, StepWorkload
+from tests.conftest import make_host
+
+T = VMTemplate("r", vcpus=1, vfreq_mhz=1200.0)
+
+
+def host(reserve: bool):
+    cfg = replace(ControllerConfig.paper_evaluation(), reserve_guarantee=reserve)
+    return make_host(config=cfg)
+
+
+class TestReserveGuarantee:
+    def test_idle_vm_keeps_full_guarantee_reserved(self):
+        node, hv, ctrl = host(reserve=True)
+        vm = hv.provision(T, "idler")
+        ctrl.register_vm("idler", T.vfreq_mhz)
+        attach(vm, IdleWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(20.0)
+        alloc = ctrl.reports[-1].allocations["/machine.slice/idler/vcpu0"]
+        assert alloc >= guaranteed_cycles(1.0, T.vfreq_mhz, 2400.0) - 1e-6
+
+    def test_paper_mode_releases_idle_guarantee(self):
+        node, hv, ctrl = host(reserve=False)
+        vm = hv.provision(T, "idler")
+        ctrl.register_vm("idler", T.vfreq_mhz)
+        attach(vm, IdleWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(20.0)
+        alloc = ctrl.reports[-1].allocations["/machine.slice/idler/vcpu0"]
+        assert alloc < guaranteed_cycles(1.0, T.vfreq_mhz, 2400.0) * 0.2
+
+    def test_waking_vm_has_no_ramp_below_guarantee(self):
+        """The point of the mode: the first busy period after a long idle
+        already has at least C_i allocated."""
+        node, hv, ctrl = host(reserve=True)
+        vm = hv.provision(T, "waker")
+        ctrl.register_vm("waker", T.vfreq_mhz)
+        attach(vm, StepWorkload(1, times=[20.0], levels=[0.0, 1.0]))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(40.0)
+        need = guaranteed_cycles(1.0, T.vfreq_mhz, 2400.0)
+        for report in ctrl.reports:
+            assert report.allocations["/machine.slice/waker/vcpu0"] >= need - 1e-6
+
+    def test_paper_mode_does_ramp(self):
+        node, hv, ctrl = host(reserve=False)
+        vm = hv.provision(T, "waker")
+        ctrl.register_vm("waker", T.vfreq_mhz)
+        attach(vm, StepWorkload(1, times=[20.0], levels=[0.0, 1.0]))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(40.0)
+        need = guaranteed_cycles(1.0, T.vfreq_mhz, 2400.0)
+        post_step = [
+            r.allocations["/machine.slice/waker/vcpu0"]
+            for r in ctrl.reports
+            if r.t > 20.0
+        ]
+        assert post_step[0] < need  # the ramp the reserve mode removes
+        assert post_step[-1] >= need - 1e-6
+
+    def test_reserved_guarantees_shrink_the_market(self):
+        """The cost side: with reservation, an idle VM's guarantee never
+        reaches the market for the busy neighbour to buy."""
+        markets = {}
+        for reserve in (False, True):
+            node, hv, ctrl = host(reserve=reserve)
+            busy = hv.provision(T, "busy")
+            idle = hv.provision(T, "idle")
+            for vm, w in ((busy, ConstantWorkload(1)), (idle, IdleWorkload(1))):
+                ctrl.register_vm(vm.name, T.vfreq_mhz)
+                attach(vm, w)
+            sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+            sim.run(20.0)
+            markets[reserve] = ctrl.reports[-1].market_initial
+        assert markets[True] < markets[False]

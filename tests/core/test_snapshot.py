@@ -1,0 +1,142 @@
+"""Tests for controller snapshot/restore and dynamic QoS changes."""
+
+import pytest
+
+from repro.core.snapshot import from_json, restore, snapshot, to_json
+from repro.core.units import guaranteed_cycles
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload, IdleWorkload
+from tests.conftest import make_host
+
+T = VMTemplate("snap", vcpus=1, vfreq_mhz=1200.0)
+
+
+def warmed_host():
+    node, hv, ctrl = make_host()
+    busy = hv.provision(T, "busy")
+    frugal = hv.provision(T, "frugal")
+    ctrl.register_vm("busy", T.vfreq_mhz)
+    ctrl.register_vm("frugal", T.vfreq_mhz)
+    attach(busy, ConstantWorkload(1))
+    attach(frugal, IdleWorkload(1))
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(15.0)
+    return node, hv, ctrl, sim
+
+
+class TestSnapshot:
+    def test_roundtrip_preserves_wallets_and_caps(self):
+        node, hv, ctrl, sim = warmed_host()
+        state = snapshot(ctrl)
+        assert state["wallets"]["frugal"] > 0
+        assert state["vm_vfreq"] == {"busy": 1200.0, "frugal": 1200.0}
+
+        from repro.core.controller import VirtualFrequencyController
+
+        fresh = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+        )
+        restore(fresh, state)
+        assert fresh.ledger.balance("frugal") == ctrl.ledger.balance("frugal")
+        assert fresh._current_cap == ctrl._current_cap
+        for path in state["histories"]:
+            assert fresh.estimator.history(path).tolist() == (
+                ctrl.estimator.history(path).tolist()
+            )
+
+    def test_json_roundtrip(self):
+        node, hv, ctrl, sim = warmed_host()
+        payload = to_json(ctrl)
+
+        from repro.core.controller import VirtualFrequencyController
+
+        fresh = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+        )
+        from_json(fresh, payload)
+        assert to_json(fresh) == payload
+
+    def test_restored_controller_continues_seamlessly(self):
+        """After restore, the very next iteration must not re-observe the
+        whole cumulative usage as one giant consumption spike."""
+        node, hv, ctrl, sim = warmed_host()
+        state = snapshot(ctrl)
+
+        from repro.core.controller import VirtualFrequencyController
+
+        fresh = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+        )
+        restore(fresh, state)
+        sim.controller = fresh
+        sim.run(2.0)
+        last = fresh.reports[-1]
+        for sample in last.samples:
+            assert sample.consumed_cycles <= 1.1e6  # one period's worth
+
+    def test_bad_version_rejected(self):
+        node, hv, ctrl, _ = warmed_host()
+        with pytest.raises(ValueError):
+            restore(ctrl, {"version": 99})
+
+    def test_negative_wallet_rejected(self):
+        node, hv, ctrl, _ = warmed_host()
+        state = snapshot(ctrl)
+        state["wallets"]["frugal"] = -1.0
+        from repro.core.controller import VirtualFrequencyController
+
+        fresh = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+        )
+        with pytest.raises(ValueError):
+            restore(fresh, state)
+
+
+class TestDynamicQoS:
+    def test_set_vfreq_changes_guarantee_next_iteration(self):
+        node, hv, ctrl, sim = warmed_host()
+        before = ctrl.guaranteed_cycles_of("busy")
+        ctrl.set_vfreq("busy", 2400.0)
+        after = ctrl.guaranteed_cycles_of("busy")
+        assert after == pytest.approx(guaranteed_cycles(1.0, 2400.0, 2400.0))
+        assert after > before
+
+    def test_set_vfreq_unknown_vm(self):
+        _, _, ctrl, _ = warmed_host()
+        with pytest.raises(KeyError):
+            ctrl.set_vfreq("ghost", 1000.0)
+
+    def test_downgrade_takes_effect_under_contention(self):
+        """Renegotiating a busy VM down must actually slow it when the
+        node is contended."""
+        node, hv, ctrl = make_host()
+        # 6 single-vCPU VMs on 4 logical CPUs: genuine contention
+        # (committed 6 x 1500 = 9 000 <= 9 600 MHz capacity).
+        for k in range(6):
+            vm = hv.provision(VMTemplate(f"q{k}", vcpus=1, vfreq_mhz=1500.0), f"q-{k}")
+            ctrl.register_vm(vm.name, 1500.0)
+            attach(vm, ConstantWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(20.0)
+        high = ctrl.reports[-1].allocations["/machine.slice/q-0/vcpu0"]
+        ctrl.set_vfreq("q-0", 600.0)
+        sim.run(20.0)
+        low = ctrl.reports[-1].allocations["/machine.slice/q-0/vcpu0"]
+        assert low < high * 0.75
+
+    def test_enforcer_skips_vanished_cgroup(self):
+        node, hv, ctrl, sim = warmed_host()
+        from repro.core.enforcer import Enforcer
+
+        enforcer = Enforcer(node.fs, ctrl.config)
+        written = enforcer.apply(
+            {"/machine.slice/busy/vcpu0": 5e5, "/machine.slice/ghost/vcpu0": 5e5}
+        )
+        assert "/machine.slice/busy/vcpu0" in written
+        assert "/machine.slice/ghost/vcpu0" not in written

@@ -1,0 +1,95 @@
+"""Tests for cycle/frequency conversions (Eqs. 1 and 2)."""
+
+import pytest
+
+from repro.core.units import (
+    cycles_per_period,
+    cycles_to_mhz,
+    guaranteed_cycles,
+    mhz_to_cycles,
+    period_us,
+)
+
+
+class TestEq1:
+    def test_chetemi_budget(self):
+        # 40 logical CPUs, p = 1 s -> 40e6 cycles (µs).
+        assert cycles_per_period(1.0, 40) == 40_000_000
+
+    def test_scales_with_period(self):
+        assert cycles_per_period(0.5, 40) == 20_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cycles_per_period(0.0, 4)
+        with pytest.raises(ValueError):
+            cycles_per_period(1.0, 0)
+
+
+class TestEq2:
+    def test_small_on_chetemi(self):
+        # 500 MHz on a 2400 MHz host: 500/2400 of a core's 1e6 µs.
+        c = guaranteed_cycles(1.0, 500.0, 2400.0)
+        assert c == pytest.approx(1e6 * 500 / 2400)
+
+    def test_full_speed_is_whole_core(self):
+        assert guaranteed_cycles(1.0, 2400.0, 2400.0) == pytest.approx(1e6)
+
+    def test_guarantee_above_fmax_rejected(self):
+        with pytest.raises(ValueError):
+            guaranteed_cycles(1.0, 3000.0, 2400.0)
+
+    def test_roundtrip_with_cycles_to_mhz(self):
+        for f in (500.0, 1200.0, 1800.0):
+            c = guaranteed_cycles(1.0, f, 2400.0)
+            assert cycles_to_mhz(c, 1.0, 2400.0) == pytest.approx(f)
+
+    def test_mhz_to_cycles_alias(self):
+        assert mhz_to_cycles(500.0, 1.0, 2400.0) == guaranteed_cycles(1.0, 500.0, 2400.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guaranteed_cycles(1.0, -1.0, 2400.0)
+        with pytest.raises(ValueError):
+            guaranteed_cycles(1.0, 500.0, 0.0)
+        with pytest.raises(ValueError):
+            cycles_to_mhz(-1.0, 1.0, 2400.0)
+
+
+class TestEq2Properties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        f1=st.floats(1.0, 2400.0),
+        f2=st.floats(1.0, 2400.0),
+        fmax=st.just(2400.0),
+        p=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_vfreq(self, f1, f2, fmax, p):
+        """A higher purchased frequency always maps to more cycles."""
+        c1 = guaranteed_cycles(p, f1, fmax)
+        c2 = guaranteed_cycles(p, f2, fmax)
+        assert (f1 <= f2) == (c1 <= c2) or c1 == c2
+
+    @given(f=st.floats(1.0, 2400.0), p=st.floats(0.1, 5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_one_core(self, f, p):
+        assert 0.0 < guaranteed_cycles(p, f, 2400.0) <= period_us(p) + 1e-9
+
+    @given(f=st.floats(1.0, 2400.0), p=st.floats(0.1, 5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, f, p):
+        c = guaranteed_cycles(p, f, 2400.0)
+        assert cycles_to_mhz(c, p, 2400.0) == pytest.approx(f, rel=1e-9)
+
+
+class TestPeriod:
+    def test_microseconds(self):
+        assert period_us(1.0) == 1_000_000
+        assert period_us(0.25) == 250_000
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            period_us(-1.0)

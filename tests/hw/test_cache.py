@@ -1,0 +1,75 @@
+"""Tests for the LLC contention model (paper §V future work)."""
+
+import pytest
+
+from repro.hw.cache import CacheContentionModel
+from repro.hw.node import MACHINE_SLICE, Node
+from repro.sched.entity import SchedEntity
+from tests.conftest import TINY
+
+
+class TestModel:
+    def test_no_slowdown_under_subscription(self):
+        m = CacheContentionModel(physical_cores=8, alpha=0.2)
+        assert m.slowdown(0) == 1.0
+        assert m.slowdown(8) == 1.0
+
+    def test_slowdown_grows_with_oversubscription(self):
+        m = CacheContentionModel(physical_cores=8, alpha=0.2)
+        s16 = m.slowdown(16)  # 2x oversubscribed
+        s32 = m.slowdown(32)  # 4x
+        assert s32 < s16 < 1.0
+
+    def test_formula(self):
+        m = CacheContentionModel(physical_cores=10, alpha=0.5)
+        # 20 threads on 10 cores: pressure 1.0 -> 1/(1+0.5)
+        assert m.slowdown(20) == pytest.approx(1.0 / 1.5)
+
+    def test_alpha_zero_disables(self):
+        m = CacheContentionModel(physical_cores=2, alpha=0.0)
+        assert m.slowdown(100) == 1.0
+
+    def test_effective_mhz(self):
+        m = CacheContentionModel(physical_cores=10, alpha=0.5)
+        assert m.effective_mhz(2400.0, 20) == pytest.approx(1600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheContentionModel(physical_cores=0)
+        with pytest.raises(ValueError):
+            CacheContentionModel(physical_cores=1, alpha=-0.1)
+        m = CacheContentionModel(physical_cores=1)
+        with pytest.raises(ValueError):
+            m.slowdown(-1)
+        with pytest.raises(ValueError):
+            m.effective_mhz(-1.0, 0)
+
+
+class TestNodeIntegration:
+    def _busy(self, node, n):
+        for j in range(n):
+            path = f"{MACHINE_SLICE}/vm/vcpu{j}"
+            node.fs.makedirs(path)
+            tid = node.procfs.spawn(f"CPU {j}/KVM")
+            node.fs.attach_thread(path, tid)
+            node.register_entity(SchedEntity(tid=tid, cgroup_path=path, demand=1.0))
+
+    def test_node_without_cache_passes_frequency_through(self, node):
+        assert node.effective_mhz(2400.0) == 2400.0
+
+    def test_node_with_cache_applies_slowdown(self):
+        cache = CacheContentionModel(physical_cores=TINY.physical_cores, alpha=0.3)
+        node = Node(TINY, cache=cache)
+        self._busy(node, 8)  # 8 runnable threads on 2 physical cores
+        node.step(1.0)
+        assert node.runnable_threads == 8
+        assert node.effective_mhz(2400.0) < 2400.0
+
+    def test_cycle_accounting_unaffected_by_cache(self):
+        """cpu.stat must report CPU *time*, not cache-degraded work."""
+        cache = CacheContentionModel(physical_cores=TINY.physical_cores, alpha=0.5)
+        node = Node(TINY, cache=cache)
+        self._busy(node, 4)
+        node.step(1.0)
+        usage = node.fs.node(f"{MACHINE_SLICE}/vm/vcpu0").cpu.usage_usec
+        assert usage == pytest.approx(1_000_000, rel=0.02)

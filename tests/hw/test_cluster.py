@@ -1,0 +1,43 @@
+"""Tests for the cluster description."""
+
+import pytest
+
+from repro.hw.cluster import Cluster, ClusterNode
+from repro.hw.nodespecs import CHETEMI, CHICLET
+
+
+class TestConstruction:
+    def test_paper_cluster_composition(self):
+        c = Cluster.paper_cluster()
+        assert len(c) == 22
+        counts = dict((spec.name, n) for spec, n in c.by_spec())
+        assert counts == {"chetemi": 12, "chiclet": 10}
+
+    def test_homogeneous(self):
+        c = Cluster.homogeneous(CHETEMI, 3)
+        assert len(c) == 3
+        assert all(n.spec is CHETEMI for n in c)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([ClusterNode("a", CHETEMI), ClusterNode("a", CHICLET)])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster.from_counts({CHETEMI: -1})
+
+
+class TestQueries:
+    def test_total_capacity(self):
+        c = Cluster.paper_cluster()
+        expected = 12 * 40 * 2400 + 10 * 64 * 2400
+        assert c.total_capacity_mhz() == expected
+
+    def test_total_logical_cpus(self):
+        assert Cluster.paper_cluster().total_logical_cpus() == 12 * 40 + 10 * 64
+
+    def test_node_lookup(self):
+        c = Cluster.paper_cluster()
+        assert c.node("chetemi-0").spec is CHETEMI
+        with pytest.raises(KeyError):
+            c.node("ghost")

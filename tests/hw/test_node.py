@@ -1,0 +1,94 @@
+"""Integration-ish tests for the Node assembly."""
+
+import pytest
+
+from repro.cgroups.fs import CgroupVersion
+from repro.hw.node import MACHINE_SLICE, Node
+from repro.sched.entity import SchedEntity
+
+
+class TestNodeSetup:
+    def test_machine_slice_exists(self, node):
+        assert node.fs.exists(MACHINE_SLICE)
+
+    def test_sysfs_matches_core_count(self, node, tiny_spec):
+        assert node.sysfs.num_cpus == tiny_spec.logical_cpus
+
+    def test_v1_flavour(self, tiny_spec):
+        n = Node(tiny_spec, cgroup_version=CgroupVersion.V1)
+        assert n.fs.version is CgroupVersion.V1
+
+
+class TestEntityRegistry:
+    def test_register_and_step(self, node):
+        path = f"{MACHINE_SLICE}/vm/vcpu0"
+        node.fs.makedirs(path)
+        tid = node.procfs.spawn("CPU 0/KVM")
+        ent = SchedEntity(tid=tid, cgroup_path=path, demand=1.0)
+        node.register_entity(ent)
+        node.step(1.0)
+        assert ent.allocated == pytest.approx(1.0)
+
+    def test_double_register_rejected(self, node):
+        node.fs.makedirs(f"{MACHINE_SLICE}/vm/vcpu0")
+        tid = node.procfs.spawn("x")
+        ent = SchedEntity(tid=tid, cgroup_path=f"{MACHINE_SLICE}/vm/vcpu0")
+        node.register_entity(ent)
+        with pytest.raises(ValueError):
+            node.register_entity(ent)
+
+
+class TestStepEffects:
+    def _busy_node(self, node, n=4):
+        ents = []
+        for j in range(n):
+            path = f"{MACHINE_SLICE}/vm/vcpu{j}"
+            node.fs.makedirs(path)
+            tid = node.procfs.spawn(f"CPU {j}/KVM")
+            node.fs.attach_thread(path, tid)
+            ent = SchedEntity(tid=tid, cgroup_path=path, demand=1.0)
+            node.register_entity(ent)
+            ents.append(ent)
+        return ents
+
+    def test_clock_advances(self, node):
+        node.step(0.5)
+        node.step(0.5)
+        assert node.clock_s == pytest.approx(1.0)
+
+    def test_usage_accounted_in_cgroupfs(self, node):
+        self._busy_node(node)
+        node.step(1.0)
+        usage = node.fs.node(f"{MACHINE_SLICE}/vm/vcpu0").cpu.usage_usec
+        assert usage == pytest.approx(1_000_000, rel=0.02)
+
+    def test_dvfs_rises_under_load(self, node):
+        self._busy_node(node)
+        for _ in range(30):
+            node.step(0.5)
+        assert node.dvfs.mean_mhz() == pytest.approx(2400.0, abs=20.0)
+
+    def test_sysfs_tracks_dvfs(self, node):
+        self._busy_node(node)
+        for _ in range(30):
+            node.step(0.5)
+        khz = node.sysfs.scaling_cur_freq(0)
+        assert khz == pytest.approx(node.dvfs.freqs_mhz[0] * 1000.0, rel=0.001)
+
+    def test_procfs_utime_charged(self, node):
+        ents = self._busy_node(node)
+        node.step(1.0)
+        assert node.procfs.stat(ents[0].tid).utime_ticks > 0
+
+    def test_energy_accumulates(self, node):
+        self._busy_node(node)
+        node.step(1.0)
+        assert node.energy.energy_j > 0
+
+    def test_last_core_readable(self, node):
+        ents = self._busy_node(node)
+        node.step(1.0)
+        core = node.last_core_of(ents[0].tid)
+        assert 0 <= core < node.spec.logical_cpus
+        # and the controller-facing frequency read works for that core
+        assert node.core_frequency_mhz(core) >= node.spec.fmin_mhz

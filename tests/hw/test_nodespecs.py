@@ -1,0 +1,55 @@
+"""Tests for the Table IV node catalogue."""
+
+import pytest
+
+from repro.hw.nodespecs import CHETEMI, CHICLET, NodeSpec, spec_by_name
+
+
+class TestTableIV:
+    def test_chetemi_topology(self):
+        assert CHETEMI.physical_cores == 20  # 2 x 10
+        assert CHETEMI.logical_cpus == 40
+        assert CHETEMI.fmax_mhz == 2400.0
+        assert CHETEMI.memory_mb == 256 * 1024
+
+    def test_chiclet_topology(self):
+        assert CHICLET.physical_cores == 32  # 2 x 16
+        assert CHICLET.logical_cpus == 64
+        assert CHICLET.fmax_mhz == 2400.0
+        assert CHICLET.memory_mb == 128 * 1024
+
+    def test_capacity_mhz_is_eq7_rhs(self):
+        assert CHETEMI.capacity_mhz == 40 * 2400
+        assert CHICLET.capacity_mhz == 64 * 2400
+
+    def test_table2_workload_fits_chetemi(self):
+        """The Eq. 7 balance that forces logical-CPU counting: Table II's
+        92 000 MHz demand must fit chetemi."""
+        demand = 20 * 2 * 500 + 10 * 4 * 1800
+        assert demand == 92_000
+        assert demand <= CHETEMI.capacity_mhz
+
+    def test_table3_workload_fits_chiclet(self):
+        demand = 32 * 2 * 500 + 16 * 4 * 1800
+        assert demand == 147_200
+        assert demand <= CHICLET.capacity_mhz
+
+    def test_catalogue_lookup(self):
+        assert spec_by_name("chetemi") is CHETEMI
+        assert spec_by_name("chiclet") is CHICLET
+        with pytest.raises(KeyError):
+            spec_by_name("nonexistent")
+
+
+class TestValidation:
+    def test_bad_topology(self):
+        with pytest.raises(ValueError):
+            NodeSpec("x", "cpu", 0, 1, 1, 2000, 1000, 1024, 0)
+
+    def test_bad_freq_order(self):
+        with pytest.raises(ValueError):
+            NodeSpec("x", "cpu", 1, 1, 1, 1000, 2000, 1024, 0)
+
+    def test_bad_memory(self):
+        with pytest.raises(ValueError):
+            NodeSpec("x", "cpu", 1, 1, 1, 2000, 1000, 0, 0)

@@ -1,0 +1,83 @@
+"""Failure injection: VM lifecycle churn while the controller runs.
+
+A production controller faces VMs appearing, disappearing and dying at
+arbitrary points of its loop; none of that may crash an iteration or
+corrupt the survivors' guarantees.
+"""
+
+import pytest
+
+from repro.core.units import guaranteed_cycles
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload
+from tests.conftest import make_host
+
+T = VMTemplate("churny", vcpus=1, vfreq_mhz=1200.0)
+
+
+class TestTeardownRaces:
+    def test_dead_thread_skipped_not_crashed(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(T, "vm")
+        ctrl.register_vm("vm", T.vfreq_mhz)
+        node.procfs.kill(vm.vcpus[0].tid)  # thread exits mid-iteration
+        report = ctrl.tick(1.0)  # must not raise
+        assert report.samples == []
+
+    def test_vm_destroyed_between_iterations(self):
+        node, hv, ctrl = make_host()
+        a = hv.provision(T, "a")
+        b = hv.provision(T, "b")
+        for vm in (a, b):
+            ctrl.register_vm(vm.name, T.vfreq_mhz)
+            attach(vm, ConstantWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(5.0)
+        hv.destroy("b")
+        ctrl.unregister_vm("b")
+        sim.run(5.0)
+        report = ctrl.reports[-1]
+        assert set(s.vm_name for s in report.samples) == {"a"}
+
+    def test_survivor_keeps_guarantee_through_churn(self):
+        node, hv, ctrl = make_host()
+        keeper = hv.provision(T, "keeper")
+        ctrl.register_vm("keeper", T.vfreq_mhz)
+        attach(keeper, ConstantWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        for k in range(4):
+            vm = hv.provision(T, f"churn-{k}")
+            ctrl.register_vm(vm.name, T.vfreq_mhz)
+            attach(vm, ConstantWorkload(1))
+            sim.run(4.0)
+            hv.destroy(vm.name)
+            ctrl.unregister_vm(vm.name)
+        sim.run(4.0)
+        alloc = ctrl.reports[-1].allocations["/machine.slice/keeper/vcpu0"]
+        assert alloc >= guaranteed_cycles(1.0, T.vfreq_mhz, 2400.0) * 0.9
+
+    def test_late_provision_picks_up_mid_run(self):
+        node, hv, ctrl = make_host()
+        first = hv.provision(T, "first")
+        ctrl.register_vm("first", T.vfreq_mhz)
+        attach(first, ConstantWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(5.0)
+        late = hv.provision(T, "late")
+        ctrl.register_vm("late", T.vfreq_mhz)
+        attach(late, ConstantWorkload(1))
+        sim.run(10.0)
+        report = ctrl.reports[-1]
+        assert "/machine.slice/late/vcpu0" in report.allocations
+        assert report.allocations["/machine.slice/late/vcpu0"] >= (
+            guaranteed_cycles(1.0, T.vfreq_mhz, 2400.0) * 0.9
+        )
+
+    def test_empty_host_iterations_are_noops(self):
+        node, hv, ctrl = make_host()
+        for t in range(5):
+            report = ctrl.tick(float(t))
+            assert report.samples == []
+            assert report.allocations == {}

@@ -1,0 +1,47 @@
+"""Smoke tests: the shipped examples must run and print their story.
+
+Only the fast examples run here (the heavier ones are exercised by the
+benches that share their code paths).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 180.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "gold VMs" in out
+        assert "bronze VMs" in out
+        assert "Eq. 7" in out
+
+    def test_cluster_placement(self):
+        out = run_example("cluster_placement.py")
+        assert "core splitting, Eq. 7 (paper)" in out
+        assert "guarantee holds" in out
+
+    def test_datacenter(self):
+        out = run_example("datacenter.py")
+        assert "powered off" in out
+        assert "progress preserved" in out
+
+    def test_dynamic_qos(self):
+        out = run_example("dynamic_qos.py")
+        assert "after downgrade" in out
+        assert "snapshot size" in out

@@ -1,0 +1,82 @@
+"""Fig. 10/11/14's qualitative claims about benchmark scores.
+
+At ``time_scale=0.15`` the large instances start at t = 30 s and finish
+their 15 iterations in ~100 s, so the *contended* small iterations are
+roughly indices 3-5; afterwards the small instances reclaim the node and
+speed back up (the same happens in the paper's protocol — the large
+compress run is much shorter than the capped small one).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.scenario import eval1_chetemi
+
+SCALE = 0.15
+CONTENDED = slice(3, 6)  # small-instance iterations overlapping the large run
+
+
+@pytest.fixture(scope="module")
+def results():
+    sc = eval1_chetemi(
+        duration=3500.0, time_scale=SCALE, dt=0.5, run_to_completion=True
+    )
+    return sc.run(controlled=False), sc.run(controlled=True)
+
+
+class TestScoreShapes:
+    def test_small_instances_complete_15_iterations(self, results):
+        res_a, res_b = results
+        assert len(res_a.scores_by_group["small"]) == 15
+        assert len(res_b.scores_by_group["small"]) == 15
+
+    def test_uncontended_iterations_similar_in_a_and_b(self, results):
+        """Before the large instances start no capping is needed, so A and
+        B agree (paper: 'when no capping is needed ... scenarios A and B
+        have similar results').  Iteration 0 is excluded: it overlaps the
+        controller's cold-start capping warm-up."""
+        res_a, res_b = results
+        a = res_a.scores_by_group["small"][1:3]
+        b = res_b.scores_by_group["small"][1:3]
+        assert np.allclose(a, b, rtol=0.20)
+
+    def test_small_lose_their_bonus_under_b(self, results):
+        """Under contention the controller caps small instances to their
+        guarantee, well below what CFS unfairly gave them in A."""
+        res_a, res_b = results
+        a = res_a.scores_by_group["small"][CONTENDED]
+        b = res_b.scores_by_group["small"][CONTENDED]
+        assert b.mean() < a.mean() * 0.7
+
+    def test_b_small_scores_track_guarantee(self, results):
+        """Contended small iterations run at ~2 vCPUs x 500 MHz -> the
+        score (work per wall second) approaches 1000 MHz-equivalents."""
+        _, res_b = results
+        b = res_b.scores_by_group["small"][CONTENDED]
+        assert b.mean() == pytest.approx(1000.0, rel=0.40)
+
+    def test_large_gain_under_b(self, results):
+        """Large instances are contended for their whole run; B must beat
+        A decisively (Fig. 10's lower pane flipped)."""
+        res_a, res_b = results
+        a = res_a.scores_by_group["large"]
+        b = res_b.scores_by_group["large"]
+        assert b[3:].mean() > a[3:].mean() * 1.4
+
+    def test_b_large_iterations_never_fall_below_guarantee_rate(self, results):
+        """Predictability: every steady-state large iteration in B runs at
+        >= ~70 % of the guaranteed 4 x 1800 MHz work rate, while A's mean
+        sits far below it."""
+        res_a, res_b = results
+        guarantee_rate = 4 * 1800.0
+        b = res_b.scores_by_group["large"][3:]
+        a = res_a.scores_by_group["large"][3:]
+        assert np.all(b >= 0.7 * guarantee_rate)
+        assert a.mean() < 0.65 * guarantee_rate
+
+    def test_small_recover_after_large_finish(self, results):
+        """Tail iterations run uncontended again — the controller must
+        give the freed cycles back (anti-waste goal)."""
+        _, res_b = results
+        b = res_b.scores_by_group["small"]
+        assert b[10:].mean() > b[CONTENDED].mean() * 2.0

@@ -1,0 +1,88 @@
+"""Whole-loop property tests: invariants of one controller iteration
+under arbitrary demand patterns (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import cycles_per_period, guaranteed_cycles
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload
+from tests.conftest import TINY, make_host
+
+
+def run_host(levels, vfreqs, seconds=20.0):
+    """levels[i]/vfreqs[i] describe one single-vCPU VM each."""
+    node, hv, ctrl = make_host()
+    for k, (level, vfreq) in enumerate(zip(levels, vfreqs)):
+        template = VMTemplate(f"t{k}", vcpus=1, vfreq_mhz=vfreq)
+        vm = hv.provision(template, f"vm-{k}")
+        ctrl.register_vm(vm.name, vfreq)
+        attach(vm, ConstantWorkload(1, level=level))
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    sim.run(seconds)
+    return node, ctrl
+
+
+# Keep committed MHz within TINY's capacity (9600): max 4 VMs x <=2400.
+_levels = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=4
+)
+_vfreq = st.floats(100.0, 2300.0, allow_nan=False)
+
+
+class TestControllerInvariants:
+    @given(levels=_levels, vfreq=_vfreq)
+    @settings(max_examples=12, deadline=None)
+    def test_total_allocation_never_exceeds_budget(self, levels, vfreq):
+        vfreqs = [min(vfreq, TINY.capacity_mhz / len(levels) - 1.0)] * len(levels)
+        node, ctrl = run_host(levels, vfreqs, seconds=10.0)
+        budget = cycles_per_period(1.0, TINY.logical_cpus)
+        for report in ctrl.reports:
+            assert sum(report.allocations.values()) <= budget + 1e-6
+
+    @given(levels=_levels, vfreq=_vfreq)
+    @settings(max_examples=12, deadline=None)
+    def test_wallets_never_negative(self, levels, vfreq):
+        vfreqs = [min(vfreq, TINY.capacity_mhz / len(levels) - 1.0)] * len(levels)
+        _, ctrl = run_host(levels, vfreqs, seconds=10.0)
+        for report in ctrl.reports:
+            for balance in report.wallets.values():
+                assert balance >= -1e-9
+
+    @given(levels=_levels, vfreq=_vfreq)
+    @settings(max_examples=12, deadline=None)
+    def test_allocations_bounded_by_one_core(self, levels, vfreq):
+        vfreqs = [min(vfreq, TINY.capacity_mhz / len(levels) - 1.0)] * len(levels)
+        _, ctrl = run_host(levels, vfreqs, seconds=10.0)
+        for report in ctrl.reports:
+            for cycles in report.allocations.values():
+                assert 0.0 <= cycles <= 1e6 + 1e-6
+
+
+class TestGuaranteeUnderFullContention:
+    def test_every_busy_vm_reaches_guarantee(self):
+        """With everything saturated and Eq. 7 satisfied, steady-state
+        allocations must cover each VM's C_i."""
+        levels = [1.0, 1.0, 1.0, 1.0]
+        vfreqs = [2300.0, 2300.0, 2300.0, 2300.0]  # 9200 <= 9600
+        node, ctrl = run_host(levels, vfreqs, seconds=30.0)
+        report = ctrl.reports[-1]
+        for path, cycles in report.allocations.items():
+            need = guaranteed_cycles(1.0, 2300.0, 2400.0)
+            assert cycles >= need * 0.95, path
+
+    def test_work_conservation_no_idle_cycles_under_demand(self):
+        """Anti-waste: when total demand exceeds capacity, the market must
+        end (almost) empty — leftover cycles would be pure waste."""
+        levels = [1.0, 1.0, 1.0, 1.0]
+        vfreqs = [2300.0] * 4
+        _, ctrl = run_host(levels, vfreqs, seconds=30.0)
+        report = ctrl.reports[-1]
+        budget = cycles_per_period(1.0, TINY.logical_cpus)
+        allocated = sum(report.allocations.values())
+        # 4 single-vCPU VMs can use at most 4 cores of the 4-core node
+        assert allocated >= budget * 0.95

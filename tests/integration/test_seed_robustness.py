@@ -1,0 +1,29 @@
+"""Seed sensitivity: the reproduction's conclusions must not depend on
+one lucky RNG stream (affinity wandering, DVFS jitter are stochastic)."""
+
+import pytest
+
+from repro.sim.scenario import eval1_chetemi
+
+SCALE = 0.12
+LARGE_START = 200.0 * SCALE
+END = 500.0 * SCALE
+
+
+@pytest.mark.parametrize("seed", [3, 1234, 987654])
+def test_eval1_plateaus_across_seeds(seed):
+    sc = eval1_chetemi(duration=500.0, time_scale=SCALE, dt=0.5, seed=seed)
+    res = sc.run(controlled=True)
+    small = res.plateau_mhz("small", LARGE_START * 1.6, END)
+    large = res.plateau_mhz("large", LARGE_START * 1.6, END)
+    assert small == pytest.approx(500.0, rel=0.3), seed
+    assert large == pytest.approx(1800.0, rel=0.25), seed
+
+
+@pytest.mark.parametrize("seed", [3, 1234])
+def test_config_a_inversion_across_seeds(seed):
+    sc = eval1_chetemi(duration=500.0, time_scale=SCALE, dt=0.5, seed=seed)
+    res = sc.run(controlled=False)
+    small = res.plateau_mhz("small", LARGE_START * 1.6, END)
+    large = res.plateau_mhz("large", LARGE_START * 1.6, END)
+    assert small > large * 1.5, seed

@@ -1,0 +1,109 @@
+"""Tests for FirstFit/BestFit, including the §IV-C paper workload."""
+
+import pytest
+
+from repro.hw.cluster import Cluster
+from repro.hw.nodespecs import CHETEMI, CHICLET
+from repro.placement.bestfit import BestFit
+from repro.placement.constraints import CoreSplittingConstraint, VcpuCountConstraint
+from repro.placement.evaluator import evaluate, nodes_by_spec_used
+from repro.placement.firstfit import FirstFit
+from repro.placement.request import expand_requests, paper_workload
+from repro.virt.template import LARGE, MEDIUM, SMALL
+
+
+class TestFirstFit:
+    def test_fills_in_order(self):
+        cluster = Cluster.homogeneous(CHETEMI, 3)
+        reqs = expand_requests([(LARGE, 14)])  # 13.33 per chetemi by Eq. 7
+        p = FirstFit(CoreSplittingConstraint()).place(cluster, reqs)
+        assert p.vm_count("chetemi-0") == 13
+        assert p.vm_count("chetemi-1") == 1
+        assert p.unplaced == []
+
+    def test_unplaceable_recorded(self):
+        cluster = Cluster.homogeneous(CHETEMI, 1)
+        reqs = expand_requests([(LARGE, 20)])
+        p = FirstFit(CoreSplittingConstraint()).place(cluster, reqs)
+        assert len(p.unplaced) == 7
+
+
+class TestBestFit:
+    def test_tightest_fit_chosen(self):
+        cluster = Cluster([])
+        # Mixed cluster: best-fit should top up the fuller node first.
+        from repro.hw.cluster import ClusterNode
+
+        cluster = Cluster([ClusterNode("a", CHETEMI), ClusterNode("b", CHICLET)])
+        algo = BestFit(CoreSplittingConstraint(), sort_requests=False)
+        reqs = expand_requests([(LARGE, 14)])
+        p = algo.place(cluster, reqs)
+        # 13 fit on the (smaller) chetemi opened first, 1 overflows
+        assert p.vm_count("a") == 13
+        assert p.vm_count("b") == 1
+
+    def test_deterministic(self):
+        cluster = Cluster.paper_cluster()
+        reqs = paper_workload()
+        p1 = BestFit(CoreSplittingConstraint()).place(cluster, reqs)
+        p2 = BestFit(CoreSplittingConstraint()).place(cluster, reqs)
+        assert p1.assignments == p2.assignments
+
+    def test_no_capacity_cluster(self):
+        p = BestFit(CoreSplittingConstraint()).place(Cluster([]), paper_workload())
+        assert len(p.unplaced) == 400
+
+
+class TestPaperPlacementStudy:
+    """§IV-C: 250 small + 50 medium + 100 large on 12 chetemi + 10 chiclet."""
+
+    def test_total_demand(self):
+        reqs = paper_workload()
+        assert sum(r.demand_mhz for r in reqs) == 1_210_000
+
+    def test_frequency_aware_bestfit_frees_nodes(self):
+        p = BestFit(CoreSplittingConstraint()).place(Cluster.paper_cluster(), paper_workload())
+        st = evaluate(p)
+        assert st.unplaced == 0
+        # Paper reports 15/22; our BFD variant packs at least as tightly.
+        assert st.nodes_used <= 15
+        assert st.nodes_free >= 7
+
+    def test_vcpu_count_bestfit_uses_all_nodes(self):
+        p = BestFit(VcpuCountConstraint()).place(Cluster.paper_cluster(), paper_workload())
+        st = evaluate(p)
+        # 1100 vCPUs on 1120 logical CPUs: every node needed (paper: 22).
+        assert st.nodes_used == 22
+        assert st.unplaced == 0
+
+    def test_consolidation_18_matches_paper(self):
+        p = BestFit(VcpuCountConstraint(consolidation_factor=1.8)).place(
+            Cluster.paper_cluster(), paper_workload()
+        )
+        st = evaluate(p)
+        assert st.nodes_used == 15  # paper: "to obtain the same result (15)"
+        assert p.max_vms_of_template_on_spec("small", "chetemi") == 36  # paper: 36
+
+    def test_consolidation_loses_guarantee(self):
+        """With x1.8 some node carries more MHz demand than Eq. 7 allows —
+        the guarantee the controller could enforce is gone."""
+        p = BestFit(VcpuCountConstraint(consolidation_factor=1.8)).place(
+            Cluster.paper_cluster(), paper_workload()
+        )
+        st = evaluate(p)
+        assert st.max_mhz_load_fraction > 1.0
+
+    def test_frequency_aware_respects_eq7_everywhere(self):
+        p = BestFit(CoreSplittingConstraint()).place(Cluster.paper_cluster(), paper_workload())
+        st = evaluate(p)
+        assert st.max_mhz_load_fraction <= 1.0 + 1e-9
+
+    def test_energy_projection_positive(self):
+        p = BestFit(CoreSplittingConstraint()).place(Cluster.paper_cluster(), paper_workload())
+        st = evaluate(p)
+        assert st.idle_power_saved_w > 0
+
+    def test_nodes_by_spec(self):
+        p = BestFit(CoreSplittingConstraint()).place(Cluster.paper_cluster(), paper_workload())
+        used = nodes_by_spec_used(p)
+        assert sum(used.values()) == evaluate(p).nodes_used

@@ -1,0 +1,47 @@
+"""Tests for placement evaluation."""
+
+import pytest
+
+from repro.hw.cluster import Cluster, ClusterNode
+from repro.hw.nodespecs import CHETEMI, CHICLET
+from repro.placement.evaluator import Placement, evaluate
+from repro.placement.request import PlacementRequest
+from repro.virt.template import LARGE, SMALL
+
+
+@pytest.fixture
+def placement():
+    cluster = Cluster([ClusterNode("a", CHETEMI), ClusterNode("b", CHICLET)])
+    p = Placement(cluster=cluster)
+    p.assign("a", PlacementRequest("s0", SMALL))
+    p.assign("a", PlacementRequest("l0", LARGE))
+    return p
+
+
+class TestPlacement:
+    def test_usage_aggregation(self, placement):
+        usage = placement.usage_of("a")
+        assert usage.vcpus == 6
+        assert usage.demand_mhz == pytest.approx(8200.0)
+
+    def test_nodes_used(self, placement):
+        assert placement.nodes_used == 1
+
+    def test_counts_by_template(self, placement):
+        assert placement.vm_count_by_template("a") == {"small": 1, "large": 1}
+
+    def test_hottest_node_stat(self, placement):
+        assert placement.max_vms_of_template_on_spec("large", "chetemi") == 1
+        assert placement.max_vms_of_template_on_spec("large", "chiclet") == 0
+
+
+class TestEvaluate:
+    def test_stats(self, placement):
+        st = evaluate(placement)
+        assert st.nodes_total == 2
+        assert st.nodes_used == 1
+        assert st.nodes_free == 1
+        assert st.unplaced == 0
+        assert st.max_mhz_load_fraction == pytest.approx(8200.0 / 96_000.0)
+        # the free chiclet's idle power is "saved"
+        assert st.idle_power_saved_w == pytest.approx(CHICLET.idle_power_w)

@@ -1,0 +1,29 @@
+"""Tests for placement requests."""
+
+import pytest
+
+from repro.placement.request import PlacementRequest, expand_requests, paper_workload
+from repro.virt.template import LARGE, MEDIUM, SMALL
+
+
+class TestRequests:
+    def test_properties_delegate_to_template(self):
+        r = PlacementRequest("x", LARGE)
+        assert r.vcpus == 4
+        assert r.demand_mhz == 7200.0
+        assert r.memory_mb == LARGE.memory_mb
+
+    def test_expand_counts_and_names(self):
+        reqs = expand_requests([(SMALL, 2), (LARGE, 1)])
+        assert [r.vm_name for r in reqs] == ["small-0", "small-1", "large-0"]
+
+    def test_expand_rejects_negative(self):
+        with pytest.raises(ValueError):
+            expand_requests([(SMALL, -1)])
+
+    def test_paper_workload_composition(self):
+        reqs = paper_workload()
+        counts = {}
+        for r in reqs:
+            counts[r.template.name] = counts.get(r.template.name, 0) + 1
+        assert counts == {"small": 250, "medium": 50, "large": 100}

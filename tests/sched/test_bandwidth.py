@@ -1,0 +1,38 @@
+"""Unit tests for CFS bandwidth bookkeeping."""
+
+import pytest
+
+from repro.cgroups.cpu import QuotaSpec
+from repro.sched.bandwidth import BandwidthState
+
+
+class TestCapFor:
+    def test_rate_based_cap(self):
+        bw = BandwidthState(QuotaSpec(50_000, 100_000))
+        assert bw.cap_for(1.0) == pytest.approx(0.5)
+        assert bw.cap_for(0.25) == pytest.approx(0.125)
+
+    def test_unlimited(self):
+        bw = BandwidthState(QuotaSpec())
+        assert bw.cap_for(1.0) == float("inf")
+
+    def test_multi_core_quota(self):
+        bw = BandwidthState(QuotaSpec(400_000, 100_000))
+        assert bw.cap_for(0.5) == pytest.approx(2.0)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthState(QuotaSpec()).cap_for(-1.0)
+
+
+class TestElapsedPeriods:
+    def test_periods_counted_at_kernel_cadence(self):
+        bw = BandwidthState(QuotaSpec(50_000, 100_000))
+        assert bw.elapsed_periods(0.05) == 0  # half a period
+        assert bw.elapsed_periods(0.05) == 1  # completes the first
+        assert bw.elapsed_periods(1.0) == 10
+
+    def test_fractional_accumulation(self):
+        bw = BandwidthState(QuotaSpec(50_000, 100_000))
+        total = sum(bw.elapsed_periods(0.03) for _ in range(10))
+        assert total == 3  # 0.3 s -> 3 full 100 ms periods

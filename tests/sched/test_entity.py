@@ -1,0 +1,27 @@
+"""Unit tests for scheduling entities."""
+
+import pytest
+
+from repro.sched.entity import SchedEntity
+
+
+class TestSchedEntity:
+    def test_set_demand_bounds(self):
+        ent = SchedEntity(tid=1, cgroup_path="/a")
+        ent.set_demand(0.5)
+        assert ent.demand == 0.5
+        with pytest.raises(ValueError):
+            ent.set_demand(1.5)
+        with pytest.raises(ValueError):
+            ent.set_demand(-0.1)
+
+    def test_grant_accumulates_total(self):
+        ent = SchedEntity(tid=1, cgroup_path="/a")
+        ent.grant(0.3)
+        ent.grant(0.2)
+        assert ent.allocated == 0.2
+        assert ent.total_cpu_seconds == pytest.approx(0.5)
+
+    def test_grant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SchedEntity(tid=1, cgroup_path="/a").grant(-1.0)

@@ -1,0 +1,148 @@
+"""Unit + property tests for weighted max-min fair sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sched.fairshare import proportional_share, weighted_fair_share
+
+
+class TestBasics:
+    def test_equal_split_unsaturated(self):
+        alloc = weighted_fair_share(3.0, np.ones(3), np.full(3, 10.0))
+        assert np.allclose(alloc, 1.0)
+
+    def test_demand_satisfied_when_capacity_ample(self):
+        limits = np.array([0.2, 0.5, 0.1])
+        alloc = weighted_fair_share(10.0, np.ones(3), limits)
+        assert np.allclose(alloc, limits)
+
+    def test_weighted_split(self):
+        alloc = weighted_fair_share(3.0, np.array([2.0, 1.0]), np.full(2, 10.0))
+        assert np.allclose(alloc, [2.0, 1.0])
+
+    def test_saturated_entity_overflow_goes_to_others(self):
+        # Entity 0 capped at 0.5; remaining 2.5 split between the other two.
+        alloc = weighted_fair_share(3.0, np.ones(3), np.array([0.5, 10.0, 10.0]))
+        assert np.allclose(alloc, [0.5, 1.25, 1.25])
+
+    def test_progressive_filling_multiple_levels(self):
+        alloc = weighted_fair_share(6.0, np.ones(3), np.array([1.0, 2.0, 10.0]))
+        assert np.allclose(alloc, [1.0, 2.0, 3.0])
+
+    def test_zero_capacity(self):
+        alloc = weighted_fair_share(0.0, np.ones(2), np.ones(2))
+        assert np.allclose(alloc, 0.0)
+
+    def test_empty_input(self):
+        assert weighted_fair_share(5.0, np.zeros(0), np.zeros(0)).size == 0
+
+    def test_infinite_limits_ok(self):
+        alloc = weighted_fair_share(4.0, np.ones(2), np.array([np.inf, np.inf]))
+        assert np.allclose(alloc, 2.0)
+
+    def test_zero_limit_gets_nothing(self):
+        alloc = weighted_fair_share(2.0, np.ones(2), np.array([0.0, 5.0]))
+        assert alloc[0] == 0.0
+        assert alloc[1] == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            weighted_fair_share(-1.0, np.ones(1), np.ones(1))
+
+    def test_nan_capacity(self):
+        with pytest.raises(ValueError):
+            weighted_fair_share(float("nan"), np.ones(1), np.ones(1))
+
+    def test_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            weighted_fair_share(1.0, np.array([0.0]), np.ones(1))
+
+    def test_negative_limits(self):
+        with pytest.raises(ValueError):
+            weighted_fair_share(1.0, np.ones(1), np.array([-1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_fair_share(1.0, np.ones(2), np.ones(3))
+
+
+_sizes = st.integers(min_value=1, max_value=30)
+
+
+@st.composite
+def _fair_share_inputs(draw):
+    n = draw(_sizes)
+    weights = draw(
+        arrays(np.float64, n, elements=st.floats(0.1, 50.0, allow_nan=False))
+    )
+    limits = draw(
+        arrays(np.float64, n, elements=st.floats(0.0, 100.0, allow_nan=False))
+    )
+    capacity = draw(st.floats(0.0, 500.0, allow_nan=False))
+    return capacity, weights, limits
+
+
+class TestProperties:
+    @given(_fair_share_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_feasibility_and_conservation(self, inputs):
+        capacity, weights, limits = inputs
+        alloc = weighted_fair_share(capacity, weights, limits)
+        # never exceed any limit
+        assert np.all(alloc <= limits + 1e-9)
+        assert np.all(alloc >= -1e-12)
+        # work conserving: total = min(capacity, sum limits)
+        assert np.isclose(alloc.sum(), min(capacity, limits.sum()), atol=1e-6)
+
+    @given(_fair_share_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_weighted_fairness_of_unsaturated(self, inputs):
+        capacity, weights, limits = inputs
+        alloc = weighted_fair_share(capacity, weights, limits)
+        # All entities below their limit share a common normalised level.
+        unsat = alloc < limits - 1e-7
+        levels = alloc[unsat] / weights[unsat]
+        if levels.size >= 2:
+            assert np.allclose(levels, levels[0], rtol=1e-6, atol=1e-8)
+
+    @given(_fair_share_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_capacity(self, inputs):
+        capacity, weights, limits = inputs
+        a1 = weighted_fair_share(capacity, weights, limits)
+        a2 = weighted_fair_share(capacity * 1.5 + 1.0, weights, limits)
+        assert np.all(a2 >= a1 - 1e-9)
+
+
+class TestProportionalShare:
+    def test_full_satisfaction_under_capacity(self):
+        out = proportional_share(10.0, np.array([1.0, 2.0]))
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_proportional_when_scarce(self):
+        out = proportional_share(3.0, np.array([1.0, 2.0]))
+        assert np.allclose(out, [1.0, 2.0])
+        out = proportional_share(1.5, np.array([1.0, 2.0]))
+        assert np.allclose(out, [0.5, 1.0])
+
+    def test_zero_demand(self):
+        assert np.allclose(proportional_share(5.0, np.zeros(3)), 0.0)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            proportional_share(1.0, np.array([-1.0]))
+
+    @given(
+        st.floats(0.0, 100.0),
+        arrays(np.float64, st.integers(1, 20), elements=st.floats(0.0, 50.0)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_demand_or_capacity(self, capacity, demands):
+        out = proportional_share(capacity, demands)
+        assert np.all(out <= demands + 1e-9)
+        assert out.sum() <= max(capacity, 0.0) + 1e-6

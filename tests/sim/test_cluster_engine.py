@@ -1,0 +1,209 @@
+"""Tests for the cluster-scale engine and live migration."""
+
+import pytest
+
+from repro.hw.cluster import Cluster, ClusterNode
+from repro.placement.bestfit import BestFit
+from repro.placement.constraints import CoreSplittingConstraint
+from repro.placement.evaluator import Placement
+from repro.placement.migration import (
+    MigrationModel,
+    ThresholdMigrationPolicy,
+)
+from repro.placement.request import PlacementRequest, expand_requests
+from repro.sim.cluster_engine import ClusterSimulation
+from repro.virt.template import VMTemplate
+from repro.workloads.synthetic import ConstantWorkload
+from tests.conftest import TINY
+
+T = VMTemplate("t", vcpus=1, vfreq_mhz=1200.0, memory_mb=512)
+
+
+def tiny_cluster(n=2):
+    return Cluster([ClusterNode(f"n{i}", TINY) for i in range(n)])
+
+
+def busy(request: PlacementRequest):
+    return ConstantWorkload(request.template.vcpus, level=1.0)
+
+
+def deploy(sim, assignments):
+    placement = Placement(cluster=tiny_cluster(len(sim.runtimes)))
+    for node_id, names in assignments.items():
+        for name in names:
+            placement.assign(node_id, PlacementRequest(name, T))
+    sim.deploy(placement, busy)
+    return placement
+
+
+class TestDeployAndRun:
+    def test_vms_land_on_their_nodes(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        deploy(sim, {"n0": ["a"], "n1": ["b"]})
+        assert "a" in {v.name for v in sim.runtimes["n0"].hypervisor.vms}
+        assert "b" in {v.name for v in sim.runtimes["n1"].hypervisor.vms}
+
+    def test_unplaced_rejected(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        placement = Placement(cluster=tiny_cluster())
+        placement.unplaced.append(PlacementRequest("x", T))
+        with pytest.raises(ValueError):
+            sim.deploy(placement, busy)
+
+    def test_run_advances_and_controls(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        deploy(sim, {"n0": ["a", "b", "c"], "n1": []})
+        sim.run(10.0)
+        assert sim.t == pytest.approx(10.0)
+        vm = sim.all_vms()["a"]
+        assert vm.vcpus[0].entity.total_cpu_seconds > 0
+
+    def test_power_off_empty_nodes(self):
+        sim = ClusterSimulation(tiny_cluster(3), dt=0.5)
+        deploy(sim, {"n0": ["a"], "n1": [], "n2": []})
+        assert sim.power_off_empty_nodes() == 2
+        assert sim.nodes_powered_on() == 1
+        sim.run(5.0)
+        # powered-off nodes burn no energy
+        assert sim.runtimes["n1"].node.energy.energy_j == 0.0
+        assert sim.runtimes["n0"].node.energy.energy_j > 0.0
+
+    def test_workload_size_mismatch_rejected(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        placement = Placement(cluster=tiny_cluster())
+        placement.assign("n0", PlacementRequest("a", T))
+        with pytest.raises(ValueError):
+            sim.deploy(placement, lambda r: ConstantWorkload(4))
+
+
+class TestMigration:
+    def test_manual_migration_moves_vm_and_workload(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        deploy(sim, {"n0": ["a"], "n1": []})
+        sim.run(4.0)
+        before = sim.all_vms()["a"].workload
+        sim.start_migration("a", "n1")
+        sim.run(5.0)  # transfer (512 MB @10 Gbps ~0.5 s) + downtime
+        hosted = {v.name for v in sim.runtimes["n1"].hypervisor.vms}
+        assert "a" in hosted
+        assert sim.all_vms()["a"].workload is before  # progress preserved
+        assert len(sim.migrations) == 1
+
+    def test_downtime_pauses_demand(self):
+        model = MigrationModel(link_gbps=10.0, downtime_s=3.0)
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5, migration_model=model)
+        deploy(sim, {"n0": ["a"], "n1": []})
+        sim.run(2.0)
+        sim.start_migration("a", "n1")
+        sim.run(1.5)  # transfer done (~0.55 s), inside downtime window
+        vm = sim.all_vms()["a"]
+        assert all(v.demand == 0.0 for v in vm.vcpus)
+        sim.run(4.0)  # past downtime
+        assert all(v.demand == 1.0 for v in vm.vcpus)
+
+    def test_double_migration_rejected(self):
+        model = MigrationModel(link_gbps=0.1)  # slow: stays in flight
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5, migration_model=model)
+        deploy(sim, {"n0": ["a"], "n1": []})
+        sim.start_migration("a", "n1")
+        with pytest.raises(ValueError):
+            sim.start_migration("a", "n1")
+
+    def test_migration_to_self_rejected(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        deploy(sim, {"n0": ["a"], "n1": []})
+        with pytest.raises(ValueError):
+            sim.start_migration("a", "n0")
+
+    def test_unknown_vm(self):
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        with pytest.raises(KeyError):
+            sim.start_migration("ghost", "n1")
+
+    def test_migration_into_full_node_rejected(self):
+        """A migration that would break the target's Eq. 7 guarantee is
+        refused up front instead of exploding at arrival time."""
+        sim = ClusterSimulation(tiny_cluster(), dt=0.5)
+        # fill n1 to the brim: tiny capacity 9600 MHz, 8 x 1200 = 9600
+        assignments = {"n0": ["a"], "n1": [f"b{i}" for i in range(8)]}
+        deploy(sim, assignments)
+        with pytest.raises(ValueError):
+            sim.start_migration("a", "n1")
+
+    def test_migration_admission_skipped_when_disabled(self):
+        sim = ClusterSimulation(
+            tiny_cluster(), dt=0.5, enforce_admission=False
+        )
+        assignments = {"n0": ["a"], "n1": [f"b{i}" for i in range(8)]}
+        deploy(sim, assignments)
+        sim.start_migration("a", "n1")  # overcommit allowed when disabled
+        sim.run(5.0)
+        assert "a" in {v.name for v in sim.runtimes["n1"].hypervisor.vms}
+
+
+class TestMigrationPolicy:
+    def test_policy_trips_after_patience(self):
+        policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=2)
+        assert not policy.observe("n", 1.5)
+        assert policy.observe("n", 1.5)
+
+    def test_calm_resets_strikes(self):
+        policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=2)
+        policy.observe("n", 1.5)
+        policy.observe("n", 0.5)
+        assert not policy.observe("n", 1.5)
+
+    def test_victim_smallest_sufficient(self):
+        vms = [("big", 4, 4.0), ("mid", 2, 2.0), ("small", 1, 1.0)]
+        assert ThresholdMigrationPolicy.pick_victim(vms, 1.5) == "mid"
+
+    def test_victim_falls_back_to_largest(self):
+        vms = [("a", 1, 0.5), ("b", 1, 0.8)]
+        assert ThresholdMigrationPolicy.pick_victim(vms, 3.0) == "b"
+
+    def test_no_vms_no_victim(self):
+        assert ThresholdMigrationPolicy.pick_victim([], 1.0) is None
+
+    def test_auto_migration_relieves_overload(self):
+        """5 busy single-vCPU VMs on a 4-cpu node with an empty neighbour:
+        the reactive policy must move at least one VM over."""
+        policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=2)
+        sim = ClusterSimulation(
+            tiny_cluster(),
+            controlled=False,
+            dt=0.5,
+            migration_policy=policy,
+            enforce_admission=False,
+        )
+        deploy(sim, {"n0": [f"v{i}" for i in range(5)], "n1": []})
+        sim.run(30.0)
+        assert len(sim.migrations) >= 1
+        moved = {v.name for v in sim.runtimes["n1"].hypervisor.vms}
+        assert moved
+        assert sim.runtimes["n0"].demand_load() <= 1.0 + 1e-9
+
+
+class TestMigrationModel:
+    def test_transfer_time(self):
+        m = MigrationModel(link_gbps=10.0, dirty_page_overhead=1.0, downtime_s=0.0)
+        # 1250 MB at 10 Gbps = 1 s
+        assert m.transfer_seconds(1250) == pytest.approx(1.0)
+
+    def test_total_includes_downtime(self):
+        m = MigrationModel(link_gbps=10.0, dirty_page_overhead=1.0, downtime_s=0.7)
+        assert m.total_seconds(1250) == pytest.approx(1.7)
+
+    def test_overhead_scales(self):
+        base = MigrationModel(dirty_page_overhead=1.0).transfer_seconds(1000)
+        heavy = MigrationModel(dirty_page_overhead=2.0).transfer_seconds(1000)
+        assert heavy == pytest.approx(2 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationModel(link_gbps=0.0)
+        with pytest.raises(ValueError):
+            MigrationModel(dirty_page_overhead=0.5)
+        with pytest.raises(ValueError):
+            MigrationModel().transfer_seconds(0)
+        with pytest.raises(ValueError):
+            ThresholdMigrationPolicy(patience=0)

@@ -1,0 +1,100 @@
+"""Tests for the simulation loop."""
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.compress7zip import Compress7Zip
+from repro.workloads.synthetic import ConstantWorkload
+from tests.conftest import make_host
+
+ONE = VMTemplate("one", vcpus=1, vfreq_mhz=1000.0)
+
+
+class TestLoop:
+    def test_demands_pushed_each_tick(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(ONE, "vm")
+        ctrl.register_vm("vm", 1000.0)
+        attach(vm, ConstantWorkload(1, level=0.6))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(1.0)
+        assert vm.vcpus[0].demand == pytest.approx(0.6)
+
+    def test_controller_cadence(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(ONE, "vm")
+        ctrl.register_vm("vm", 1000.0)
+        attach(vm, ConstantWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.25)
+        sim.run(5.0)
+        assert len(ctrl.reports) == 5  # one per period_s=1.0
+
+    def test_progress_absorbed_into_scores(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(ONE, "vm")
+        ctrl.register_vm("vm", 1000.0)
+        attach(vm, Compress7Zip(1, iterations=2, work_per_iteration_mhz_s=5_000.0))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(30.0)
+        assert vm.workload.finished
+        assert len(vm.workload.scores) == 2
+
+    def test_metrics_recorded(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(ONE, "vm")
+        ctrl.register_vm("vm", 1000.0)
+        attach(vm, ConstantWorkload(1))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(4.0)
+        assert "vm" in sim.metrics.vfreq_estimated
+        assert "vm" in sim.metrics.vfreq_actual
+        assert len(sim.metrics.core_freq_mean) == 8
+
+    def test_until_stops_early(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(ONE, "vm")
+        ctrl.register_vm("vm", 1000.0)
+        attach(vm, Compress7Zip(1, iterations=1, work_per_iteration_mhz_s=1_000.0))
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(100.0, until=sim.all_workloads_finished)
+        assert sim.t < 100.0
+        assert sim.all_workloads_finished()
+
+    def test_on_report_callback(self):
+        node, hv, ctrl = make_host()
+        vm = hv.provision(ONE, "vm")
+        ctrl.register_vm("vm", 1000.0)
+        attach(vm, ConstantWorkload(1))
+        seen = []
+        sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+        sim.run(3.0, on_report=lambda r: seen.append(r.t))
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_runs_without_controller(self):
+        node, hv, _ = make_host()
+        vm = hv.provision(ONE, "vm")
+        attach(vm, ConstantWorkload(1))
+        sim = Simulation(node, hv, dt=0.5)
+        sim.run(2.0)
+        assert sim.t == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_dt_must_divide_period(self):
+        node, hv, ctrl = make_host(config=ControllerConfig(period_s=1.0))
+        with pytest.raises(ValueError):
+            Simulation(node, hv, controller=ctrl, dt=0.3)
+
+    def test_dt_positive(self):
+        node, hv, _ = make_host()
+        with pytest.raises(ValueError):
+            Simulation(node, hv, dt=0.0)
+
+    def test_negative_duration(self):
+        node, hv, _ = make_host()
+        sim = Simulation(node, hv, dt=0.5)
+        with pytest.raises(ValueError):
+            sim.run(-1.0)

@@ -1,0 +1,66 @@
+"""Tests for CSV export of experiment artefacts."""
+
+import pytest
+
+from repro.sim.export import read_csv, scores_to_csv, series_to_csv
+from repro.sim.metrics import TimeSeries
+
+
+def make_series(name, pairs):
+    s = TimeSeries(name)
+    for t, v in pairs:
+        s.append(t, v)
+    return s
+
+
+class TestSeriesExport:
+    def test_roundtrip(self, tmp_path):
+        a = make_series("a", [(0.0, 1.0), (1.0, 2.0)])
+        b = make_series("b", [(0.0, 10.0), (1.0, 20.0)])
+        out = series_to_csv(tmp_path / "s.csv", {"a": a, "b": b})
+        cols = read_csv(out)
+        assert cols["t_s"] == [0.0, 1.0]
+        assert cols["a"] == [1.0, 2.0]
+        assert cols["b"] == [10.0, 20.0]
+
+    def test_bucketing_averages(self, tmp_path):
+        a = make_series("a", [(0.1, 1.0), (0.6, 3.0), (1.2, 5.0)])
+        out = series_to_csv(tmp_path / "s.csv", {"a": a}, bucket_s=1.0)
+        cols = read_csv(out)
+        assert cols["a"] == [2.0, 5.0]
+
+    def test_missing_buckets_empty(self, tmp_path):
+        a = make_series("a", [(0.0, 1.0)])
+        b = make_series("b", [(5.0, 2.0)])
+        cols = read_csv(series_to_csv(tmp_path / "s.csv", {"a": a, "b": b}))
+        assert cols["a"] == [1.0, None]
+        assert cols["b"] == [None, 2.0]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        a = make_series("a", [(0.0, 1.0)])
+        out = series_to_csv(tmp_path / "deep" / "dir" / "s.csv", {"a": a})
+        assert out.exists()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            series_to_csv(tmp_path / "x.csv", {})
+        with pytest.raises(ValueError):
+            series_to_csv(tmp_path / "x.csv", {"a": make_series("a", [(0, 1)])}, bucket_s=0)
+
+
+class TestScoresExport:
+    def test_roundtrip(self, tmp_path):
+        out = scores_to_csv(tmp_path / "sc.csv", {"A": [1.0, 2.0], "B": [3.0]})
+        cols = read_csv(out)
+        assert cols["iteration"] == [1.0, 2.0]
+        assert cols["A"] == [1.0, 2.0]
+        assert cols["B"] == [3.0, None]
+
+    def test_nan_written_empty(self, tmp_path):
+        out = scores_to_csv(tmp_path / "sc.csv", {"A": [1.0, float("nan")]})
+        cols = read_csv(out)
+        assert cols["A"] == [1.0, None]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            scores_to_csv(tmp_path / "x.csv", {})

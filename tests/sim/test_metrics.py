@@ -1,0 +1,85 @@
+"""Tests for time series and the metrics recorder."""
+
+import pytest
+
+from repro.sim.metrics import MetricsRecorder, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_access(self):
+        s = TimeSeries("x")
+        s.append(0.0, 1.0)
+        s.append(1.0, 3.0)
+        assert s.times.tolist() == [0.0, 1.0]
+        assert s.values.tolist() == [1.0, 3.0]
+        assert len(s) == 2
+
+    def test_non_decreasing_times_enforced(self):
+        s = TimeSeries("x")
+        s.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4.0, 1.0)
+
+    def test_window(self):
+        s = TimeSeries("x")
+        for t in range(10):
+            s.append(float(t), float(t))
+        w = s.window(3.0, 6.0)
+        assert w.times.tolist() == [3.0, 4.0, 5.0]
+
+    def test_stats(self):
+        s = TimeSeries("x")
+        for v in (1.0, 2.0, 3.0):
+            s.append(v, v)
+        assert s.mean() == pytest.approx(2.0)
+        assert s.std() == pytest.approx((2 / 3) ** 0.5)
+        assert s.last() == (3.0, 3.0)
+
+    def test_empty_series_errors(self):
+        s = TimeSeries("x")
+        with pytest.raises(ValueError):
+            s.mean()
+        with pytest.raises(ValueError):
+            s.last()
+
+
+class TestRecorder:
+    def test_vfreq_series_created_on_demand(self):
+        rec = MetricsRecorder()
+        rec.record_vfreq_estimate(1.0, "vm-a", 500.0)
+        rec.record_vfreq_estimate(2.0, "vm-a", 600.0)
+        assert rec.vfreq_estimated["vm-a"].mean() == pytest.approx(550.0)
+
+    def test_group_mean_series_buckets(self):
+        rec = MetricsRecorder()
+        for t in (0.2, 0.7):  # both in bucket 0
+            rec.record_vfreq_estimate(t, "a", 100.0)
+        rec.record_vfreq_estimate(1.2, "a", 300.0)
+        rec.record_vfreq_estimate(1.4, "b", 500.0)
+        merged = rec.group_mean_series(rec.vfreq_estimated, ["a", "b"], bucket_s=1.0)
+        assert merged.times.tolist() == [0.0, 1.0]
+        assert merged.values.tolist() == [100.0, 400.0]
+
+    def test_group_mean_missing_vms_ignored(self):
+        rec = MetricsRecorder()
+        rec.record_vfreq_estimate(0.0, "a", 100.0)
+        merged = rec.group_mean_series(rec.vfreq_estimated, ["a", "ghost"])
+        assert len(merged) == 1
+
+    def test_steady_state_mean_windows_per_vm(self):
+        rec = MetricsRecorder()
+        for t in range(10):
+            rec.record_vfreq_estimate(float(t), "a", 100.0 if t < 5 else 200.0)
+            rec.record_vfreq_estimate(float(t), "b", 300.0 if t < 5 else 400.0)
+        assert rec.steady_state_mean(rec.vfreq_estimated, ["a", "b"], 5.0) == pytest.approx(300.0)
+
+    def test_steady_state_mean_empty_window(self):
+        rec = MetricsRecorder()
+        rec.record_vfreq_estimate(0.0, "a", 1.0)
+        with pytest.raises(ValueError):
+            rec.steady_state_mean(rec.vfreq_estimated, ["a"], 100.0)
+
+    def test_bucket_validation(self):
+        rec = MetricsRecorder()
+        with pytest.raises(ValueError):
+            rec.group_mean_series({}, [], bucket_s=0.0)

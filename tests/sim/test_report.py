@@ -1,0 +1,69 @@
+"""Tests for report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import TimeSeries
+from repro.sim.report import render_table, scores_rows, series_to_rows
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["long-name", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "-+-" in lines[1]
+        assert "long-name" in lines[3]
+        assert "22.2" in lines[3]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_nan_rendered_as_dash(self):
+        out = render_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestSeriesRows:
+    def _series(self, values, dt=10.0):
+        s = TimeSeries("s")
+        for i, v in enumerate(values):
+            s.append(i * dt, v)
+        return s
+
+    def test_downsampling(self):
+        s = self._series([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], dt=10.0)
+        headers, rows = series_to_rows({"s": s}, step_s=30.0)
+        assert headers == ["t(s)", "s"]
+        assert rows[0] == [0, pytest.approx(2.0)]  # mean of 1,2,3
+        assert rows[1] == [30, pytest.approx(5.0)]
+
+    def test_empty_buckets_are_nan(self):
+        s = self._series([1.0], dt=10.0)
+        _, rows = series_to_rows({"s": s}, step_s=5.0, t_max=20.0)
+        assert rows[1][1] != rows[1][1]  # NaN
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            series_to_rows({}, step_s=0.0)
+
+
+class TestScoresRows:
+    def test_iteration_axis(self):
+        headers, rows = scores_rows(
+            {"A": np.array([1.0, 2.0]), "B": np.array([3.0])}
+        )
+        assert headers == ["iteration", "A", "B"]
+        assert rows[0] == [1, 1.0, 3.0]
+        assert rows[1][0] == 2
+        assert rows[1][2] != rows[1][2]  # NaN for missing B iteration
+
+    def test_empty(self):
+        headers, rows = scores_rows({})
+        assert rows == []

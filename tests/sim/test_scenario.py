@@ -1,0 +1,134 @@
+"""Tests for the paper scenario builders (shapes only; the real runs are
+in tests/integration and the benches)."""
+
+import numpy as np
+import pytest
+
+from repro.cgroups.fs import CgroupVersion
+from repro.sim.scenario import (
+    Scenario,
+    VMGroup,
+    eval1_chetemi,
+    eval1_chiclet,
+    eval2_chetemi,
+    mean_scores_by_iteration,
+)
+from repro.virt.template import LARGE, MEDIUM, SMALL
+from repro.workloads.base import WorkloadScore
+from repro.workloads.compress7zip import Compress7Zip
+
+
+class TestBuilders:
+    def test_eval1_chetemi_matches_table2(self):
+        sc = eval1_chetemi()
+        assert sc.node_spec.name == "chetemi"
+        groups = {g.label: g for g in sc.groups}
+        assert groups["small"].count == 20
+        assert groups["small"].template is SMALL
+        assert groups["large"].count == 10
+        assert groups["large"].template is LARGE
+        assert groups["large"].start_time == 200.0
+
+    def test_eval1_chiclet_matches_table3(self):
+        sc = eval1_chiclet()
+        groups = {g.label: g.count for g in sc.groups}
+        assert groups == {"small": 32, "large": 16}
+
+    def test_eval2_matches_table5(self):
+        sc = eval2_chetemi()
+        groups = {g.label: g for g in sc.groups}
+        assert groups["small"].count == 14
+        assert groups["medium"].count == 8
+        assert groups["medium"].template is MEDIUM
+        assert groups["medium"].start_time == 100.0
+        assert groups["large"].count == 6
+        assert groups["large"].start_time == 200.0
+
+    def test_workloads_fit_admission(self):
+        """Every paper scenario satisfies Eq. 7 on its node — provisioning
+        must not raise."""
+        for builder in (eval1_chetemi, eval1_chiclet, eval2_chetemi):
+            sim = builder(duration=1.0).build(controlled=True)
+            committed = sim.hypervisor.committed_mhz()
+            assert committed <= sim.node.spec.capacity_mhz
+
+    def test_time_scale_compresses_everything(self):
+        sc = eval1_chetemi(time_scale=0.1)
+        groups = {g.label: g for g in sc.groups}
+        assert groups["large"].start_time == pytest.approx(20.0)
+        assert sc.duration == pytest.approx(90.0)
+        w = groups["small"].workload_factory(SMALL, 0.0)
+        from repro.sim.scenario import COMPRESS_WORK_MHZ_S
+
+        assert w.work_per_iteration == pytest.approx(COMPRESS_WORK_MHZ_S * 0.1)
+        # dips are benchmark-internal and must NOT compress with the timeline
+        assert w.dip_period == pytest.approx(25.0)
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ValueError):
+            eval1_chetemi(time_scale=0.0)
+
+    def test_controller_registration(self):
+        sim = eval1_chetemi(duration=1.0).build(controlled=True)
+        assert sim.controller.guaranteed_cycles_of("small-0") == pytest.approx(
+            1e6 * 500 / 2400
+        )
+        assert sim.controller.guaranteed_cycles_of("large-0") == pytest.approx(
+            1e6 * 1800 / 2400
+        )
+
+    def test_cgroup_version_flows_through(self):
+        sim = eval1_chetemi(duration=1.0, cgroup_version=CgroupVersion.V1).build(
+            controlled=True
+        )
+        assert sim.node.fs.version is CgroupVersion.V1
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            VMGroup(SMALL, 0, None)
+        with pytest.raises(ValueError):
+            VMGroup(SMALL, 1, None, start_time=-1.0)
+
+
+class TestScoreAggregation:
+    def _vm_with_scores(self, name, scores):
+        from repro.virt.vm import VMInstance
+
+        vm = VMInstance(name=name, template=SMALL, cgroup_path=f"/m/{name}")
+        w = Compress7Zip(2, iterations=10, work_per_iteration_mhz_s=1.0)
+        w.scores = [
+            WorkloadScore(iteration=i, started_at=0.0, finished_at=1.0, work_mhz_s=s)
+            for i, s in enumerate(scores)
+        ]
+        vm.workload = w
+        return vm
+
+    def test_mean_across_instances(self):
+        vms = [
+            self._vm_with_scores("a", [100.0, 200.0]),
+            self._vm_with_scores("b", [300.0, 400.0]),
+        ]
+        out = mean_scores_by_iteration(vms)
+        assert out.tolist() == [200.0, 300.0]
+
+    def test_ragged_instances(self):
+        vms = [
+            self._vm_with_scores("a", [100.0, 200.0]),
+            self._vm_with_scores("b", [300.0]),
+        ]
+        out = mean_scores_by_iteration(vms)
+        assert out.tolist() == [200.0, 200.0]
+
+    def test_no_workloads(self):
+        assert mean_scores_by_iteration([]).size == 0
+
+
+class TestShortRun:
+    def test_run_returns_result_with_both_configs(self):
+        sc = eval1_chetemi(duration=8.0, dt=0.5)
+        for controlled, label in ((False, "A"), (True, "B")):
+            res = sc.run(controlled=controlled)
+            assert res.configuration == label
+            assert set(res.vm_names_by_group) == {"small", "large"}
+            series = res.group_freq_series("small")
+            assert len(series) > 0

@@ -1,0 +1,109 @@
+"""Tests for the Burst-VM baseline (§II limitations reproduced)."""
+
+import pytest
+
+from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.sched.entity import SchedEntity
+from repro.virt.burst import BurstPolicy, BurstVMController
+from repro.virt.template import SMALL
+from repro.virt.vm import VCpu, VMInstance
+
+
+def make_env(initial_credits=60.0):
+    fs = CgroupFS(CgroupVersion.V2)
+    vm = VMInstance(name="b0", template=SMALL, cgroup_path="/machine.slice/b0")
+    fs.makedirs(vm.cgroup_path)
+    for j in range(2):
+        path = f"{vm.cgroup_path}/vcpu{j}"
+        fs.makedirs(path)
+        ent = SchedEntity(tid=10 + j, cgroup_path=path)
+        vm.vcpus.append(VCpu(index=j, tid=10 + j, cgroup_path=path, entity=ent))
+    policy = BurstPolicy(initial_credits=initial_credits)
+    ctrl = BurstVMController(fs, policy)
+    ctrl.watch(vm)
+    return fs, vm, ctrl
+
+
+def charge(fs, vm, usec_per_vcpu):
+    for vcpu in vm.vcpus:
+        fs.node(vcpu.cgroup_path).cpu.charge(usec_per_vcpu)
+
+
+class TestCredits:
+    def test_idle_vm_accrues_credits(self):
+        fs, vm, ctrl = make_env(initial_credits=0.0)
+        # Each idle tick accrues baseline * num_vcpus = 0.1 * 2 = 0.2 s.
+        ctrl.tick({"b0": vm}, dt=1.0)
+        assert ctrl.credits_of("b0") == pytest.approx(0.2, abs=1e-6)
+        ctrl.tick({"b0": vm}, dt=1.0)
+        assert ctrl.credits_of("b0") == pytest.approx(0.4, abs=1e-6)
+
+    def test_heavy_use_burns_credits(self):
+        fs, vm, ctrl = make_env(initial_credits=10.0)
+        ctrl.tick({"b0": vm}, dt=1.0)  # idle tick: +0.2
+        charge(fs, vm, 1_000_000)  # both vCPUs ran flat out
+        ctrl.tick({"b0": vm}, dt=1.0)
+        # burn = used (2 s) - baseline (0.2 s) = 1.8 s
+        assert ctrl.credits_of("b0") == pytest.approx(10.0 + 0.2 - 1.8, abs=1e-6)
+
+    def test_credit_cap(self):
+        fs, vm, ctrl = make_env(initial_credits=0.0)
+        ctrl.policy = BurstPolicy(credit_cap_seconds=0.3, initial_credits=0.0)
+        ctrl.tick({"b0": vm}, dt=1.0)
+        for _ in range(10):
+            ctrl.tick({"b0": vm}, dt=1.0)
+        assert ctrl.credits_of("b0") <= 0.3
+
+
+class TestCapping:
+    def test_broke_vm_is_capped_at_baseline(self):
+        fs, vm, ctrl = make_env(initial_credits=0.0)
+        vm.set_uniform_demand(1.0)
+        ctrl.tick({"b0": vm}, dt=1.0)  # +0.2 credits (no usage yet)
+        charge(fs, vm, 1_000_000)  # then 2 s of usage burn it all
+        ctrl.tick({"b0": vm}, dt=1.0)
+        quota = fs.get_quota(vm.vcpus[0].cgroup_path)
+        assert ctrl.credits_of("b0") == 0.0
+        assert quota.ratio() == pytest.approx(0.10)
+        assert not ctrl.is_bursting("b0")
+
+    def test_funded_vm_with_demand_bursts_uncapped(self):
+        fs, vm, ctrl = make_env(initial_credits=60.0)
+        vm.set_uniform_demand(1.0)
+        ctrl.tick({"b0": vm}, dt=1.0)
+        assert ctrl.is_bursting("b0")
+        assert fs.get_quota(vm.vcpus[0].cgroup_path).unlimited
+
+    def test_no_demand_no_burst(self):
+        fs, vm, ctrl = make_env(initial_credits=60.0)
+        vm.set_uniform_demand(0.05)  # below the 10 % baseline
+        ctrl.tick({"b0": vm}, dt=1.0)
+        assert not ctrl.is_bursting("b0")
+
+    def test_limitation3_capped_even_on_idle_node(self):
+        """The paper's criticism: a credit-less burst VM stays capped no
+        matter how idle the node is — the controller is node-unaware."""
+        fs, vm, ctrl = make_env(initial_credits=0.0)
+        vm.set_uniform_demand(1.0)
+        ctrl.tick({"b0": vm}, dt=1.0)
+        charge(fs, vm, 1_000_000)
+        ctrl.tick({"b0": vm}, dt=1.0)
+        # Nothing else runs on the node, yet:
+        assert fs.get_quota(vm.vcpus[0].cgroup_path).ratio() == pytest.approx(0.10)
+
+
+class TestPolicyValidation:
+    def test_bad_baseline(self):
+        with pytest.raises(ValueError):
+            BurstPolicy(baseline_fraction=0.0)
+        with pytest.raises(ValueError):
+            BurstPolicy(baseline_fraction=1.5)
+
+    def test_bad_credits(self):
+        with pytest.raises(ValueError):
+            BurstPolicy(initial_credits=-1.0)
+
+    def test_bad_dt(self):
+        fs, vm, ctrl = make_env()
+        with pytest.raises(ValueError):
+            ctrl.tick({"b0": vm}, dt=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the spot-instance deflation baseline (§II refs [15]-[17])."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.virt.deflation import DeflationController, MIN_FRACTION
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.synthetic import ConstantWorkload
+from tests.conftest import make_host
+
+SPOT = VMTemplate("spot", vcpus=2, vfreq_mhz=1200.0)
+
+
+def spot_host(n=2):
+    node, hv, _ = make_host()
+    ctrl = DeflationController(node.fs, fmax_mhz=node.spec.fmax_mhz)
+    vms = {}
+    for k in range(n):
+        vm = hv.provision(SPOT, f"spot-{k}")
+        attach(vm, ConstantWorkload(2, level=1.0))
+        ctrl.watch(vm)
+        vms[vm.name] = vm
+    return node, hv, ctrl, vms
+
+
+class TestDeflation:
+    def test_no_reclaim_full_inflation(self):
+        node, hv, ctrl, vms = spot_host()
+        factors = ctrl.apply(vms)
+        assert all(f == pytest.approx(1.0) for f in factors.values())
+
+    def test_reclaim_scales_quotas_proportionally(self):
+        node, hv, ctrl, vms = spot_host()
+        # pool = 2 VMs x 2 vCPUs x 2400 = 9600 MHz; reclaim half
+        ctrl.reclaim(4800.0)
+        factors = ctrl.apply(vms)
+        assert all(f == pytest.approx(0.5) for f in factors.values())
+        quota = node.fs.get_quota(vms["spot-0"].vcpus[0].cgroup_path)
+        assert quota.ratio() == pytest.approx(0.5)
+
+    def test_deflation_floors_at_min_fraction(self):
+        node, hv, ctrl, vms = spot_host()
+        ctrl.reclaim(1e9)
+        factors = ctrl.apply(vms)
+        assert all(f == pytest.approx(MIN_FRACTION) for f in factors.values())
+
+    def test_release_restores_capacity(self):
+        node, hv, ctrl, vms = spot_host()
+        ctrl.reclaim(4800.0)
+        ctrl.apply(vms)
+        ctrl.release(4800.0)
+        factors = ctrl.apply(vms)
+        assert all(f == pytest.approx(1.0) for f in factors.values())
+
+    def test_restore_all_uncaps(self):
+        node, hv, ctrl, vms = spot_host()
+        ctrl.reclaim(4800.0)
+        ctrl.apply(vms)
+        ctrl.restore_all(vms)
+        assert node.fs.get_quota(vms["spot-0"].vcpus[0].cgroup_path).unlimited
+        assert ctrl.factor_of("spot-0") == 1.0
+
+    def test_deflated_vm_actually_slows(self):
+        node, hv, ctrl, vms = spot_host(n=1)
+        sim = Simulation(node, hv, dt=0.5)
+        sim.run(4.0)
+        full = vms["spot-0"].total_allocated()
+        ctrl.reclaim(2400.0)  # half the 1-VM pool
+        ctrl.apply(vms)
+        sim.run(4.0)
+        deflated = vms["spot-0"].total_allocated()
+        assert deflated == pytest.approx(full * 0.5, rel=0.1)
+
+    def test_unwatched_vms_untouched(self):
+        node, hv, ctrl, vms = spot_host()
+        bystander = hv.provision(VMTemplate("b", vcpus=1, vfreq_mhz=400.0), "bystander")
+        ctrl.reclaim(1e6)
+        ctrl.apply({**vms, "bystander": bystander})
+        assert node.fs.get_quota(bystander.vcpus[0].cgroup_path).unlimited
+
+    def test_validation(self):
+        node, hv, ctrl, vms = spot_host()
+        with pytest.raises(ValueError):
+            ctrl.reclaim(-1.0)
+        with pytest.raises(ValueError):
+            ctrl.release(-1.0)
+        with pytest.raises(ValueError):
+            DeflationController(node.fs, fmax_mhz=0.0)
+
+
+class TestPaperContrast:
+    def test_spot_vm_has_no_floor_guarantee(self):
+        """The §II contrast: deflation can squeeze a spot VM to ~nothing,
+        while the paper's controller never caps below the purchased
+        guarantee while the VM is busy."""
+        node, hv, ctrl, vms = spot_host()
+        ctrl.reclaim(1e9)
+        ctrl.apply(vms)
+        quota = node.fs.get_quota(vms["spot-0"].vcpus[0].cgroup_path)
+        guarantee_ratio = SPOT.vfreq_mhz / node.spec.fmax_mhz
+        assert quota.ratio() < guarantee_ratio / 10

@@ -1,0 +1,44 @@
+"""Tests for VM templates (the paper's new template field)."""
+
+import pytest
+
+from repro.virt.template import LARGE, MEDIUM, SMALL, VMTemplate, template_by_name
+
+
+class TestCatalogue:
+    def test_small(self):
+        assert (SMALL.vcpus, SMALL.vfreq_mhz) == (2, 500.0)
+
+    def test_medium(self):
+        assert (MEDIUM.vcpus, MEDIUM.vfreq_mhz) == (4, 1200.0)
+
+    def test_large(self):
+        assert (LARGE.vcpus, LARGE.vfreq_mhz) == (4, 1800.0)
+
+    def test_demand_mhz(self):
+        assert SMALL.demand_mhz == 1000.0
+        assert MEDIUM.demand_mhz == 4800.0
+        assert LARGE.demand_mhz == 7200.0
+
+    def test_lookup(self):
+        assert template_by_name("small") is SMALL
+        with pytest.raises(KeyError):
+            template_by_name("xlarge")
+
+
+class TestValidation:
+    def test_positive_vcpus(self):
+        with pytest.raises(ValueError):
+            VMTemplate("x", vcpus=0, vfreq_mhz=500)
+
+    def test_positive_vfreq(self):
+        with pytest.raises(ValueError):
+            VMTemplate("x", vcpus=1, vfreq_mhz=0)
+
+    def test_positive_memory(self):
+        with pytest.raises(ValueError):
+            VMTemplate("x", vcpus=1, vfreq_mhz=500, memory_mb=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SMALL.vcpus = 8

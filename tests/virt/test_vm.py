@@ -1,0 +1,38 @@
+"""Tests for VM instance objects."""
+
+import pytest
+
+from repro.sched.entity import SchedEntity
+from repro.virt.template import SMALL
+from repro.virt.vm import VCpu, VMInstance
+
+
+def make_vm(name="vm", vcpus=2):
+    vm = VMInstance(name=name, template=SMALL, cgroup_path=f"/machine.slice/{name}")
+    for j in range(vcpus):
+        ent = SchedEntity(tid=100 + j, cgroup_path=f"{vm.cgroup_path}/vcpu{j}")
+        vm.vcpus.append(VCpu(index=j, tid=100 + j, cgroup_path=ent.cgroup_path, entity=ent))
+    return vm
+
+
+class TestVMInstance:
+    def test_vfreq_comes_from_template(self):
+        assert make_vm().vfreq_mhz == 500.0
+
+    def test_tids(self):
+        assert make_vm().tids() == [100, 101]
+
+    def test_uniform_demand(self):
+        vm = make_vm()
+        vm.set_uniform_demand(0.7)
+        assert all(v.demand == 0.7 for v in vm.vcpus)
+
+    def test_demand_validation_propagates(self):
+        with pytest.raises(ValueError):
+            make_vm().set_uniform_demand(2.0)
+
+    def test_total_allocated(self):
+        vm = make_vm()
+        vm.vcpus[0].entity.grant(0.25)
+        vm.vcpus[1].entity.grant(0.5)
+        assert vm.total_allocated() == pytest.approx(0.75)

@@ -1,0 +1,90 @@
+"""Tests for the workload protocol and pooled-work scoring."""
+
+import pytest
+
+from repro.workloads.base import PooledWorkWorkload, WorkloadScore, attach
+from repro.workloads.synthetic import ConstantWorkload
+
+
+class _Pooled(PooledWorkWorkload):
+    def demand(self, vcpu, t):
+        return 1.0 if self.started(t) and not self.finished else 0.0
+
+
+class TestWorkloadScore:
+    def test_score_is_work_over_time(self):
+        s = WorkloadScore(iteration=0, started_at=0.0, finished_at=10.0, work_mhz_s=24_000.0)
+        assert s.duration_s == 10.0
+        assert s.score == pytest.approx(2_400.0)
+
+    def test_zero_duration_rejected(self):
+        s = WorkloadScore(iteration=0, started_at=5.0, finished_at=5.0, work_mhz_s=1.0)
+        with pytest.raises(ValueError):
+            _ = s.score
+
+
+class TestPooledWork:
+    def test_iteration_completes_when_work_reached(self):
+        w = _Pooled(2, iterations=2, work_per_iteration_mhz_s=100.0)
+        w.advance(0, 0.0, 1.0, cpu_seconds=0.5, freq_mhz=100.0)  # 50
+        assert w.iteration_progress() == pytest.approx(0.5)
+        w.advance(1, 0.0, 1.0, cpu_seconds=0.5, freq_mhz=100.0)  # 100
+        assert w.current_iteration == 1
+        assert len(w.scores) == 1
+
+    def test_work_pooled_across_vcpus(self):
+        w = _Pooled(4, iterations=1, work_per_iteration_mhz_s=400.0)
+        for j in range(4):
+            w.advance(j, 0.0, 1.0, cpu_seconds=1.0, freq_mhz=100.0)
+        assert w.finished
+
+    def test_overshoot_carries_into_next_iteration(self):
+        w = _Pooled(1, iterations=2, work_per_iteration_mhz_s=100.0)
+        w.advance(0, 0.0, 1.0, cpu_seconds=1.5, freq_mhz=100.0)  # 150
+        assert w.current_iteration == 1
+        assert w.iteration_progress() == pytest.approx(0.5)
+
+    def test_finished_ignores_further_progress(self):
+        w = _Pooled(1, iterations=1, work_per_iteration_mhz_s=10.0)
+        w.advance(0, 0.0, 1.0, 1.0, 10.0)
+        assert w.finished
+        w.advance(0, 1.0, 1.0, 1.0, 10.0)
+        assert len(w.scores) == 1
+
+    def test_not_started_makes_no_progress(self):
+        w = _Pooled(1, iterations=1, work_per_iteration_mhz_s=10.0, start_time=100.0)
+        w.advance(0, 0.0, 1.0, 1.0, 10.0)
+        assert w.iteration_progress() == 0.0
+
+    def test_scores_carry_wall_times(self):
+        w = _Pooled(1, iterations=1, work_per_iteration_mhz_s=100.0)
+        w.advance(0, 0.0, 1.0, 1.0, 50.0)
+        w.advance(0, 1.0, 1.0, 1.0, 50.0)
+        score = w.scores[0]
+        assert score.started_at == 0.0
+        assert score.finished_at == 2.0
+        assert score.score == pytest.approx(50.0)
+
+    def test_negative_progress_rejected(self):
+        w = _Pooled(1, iterations=1, work_per_iteration_mhz_s=10.0)
+        with pytest.raises(ValueError):
+            w.advance(0, 0.0, 1.0, -1.0, 10.0)
+
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            _Pooled(1, iterations=0, work_per_iteration_mhz_s=10.0)
+        with pytest.raises(ValueError):
+            _Pooled(1, iterations=1, work_per_iteration_mhz_s=0.0)
+        with pytest.raises(ValueError):
+            _Pooled(0, iterations=1, work_per_iteration_mhz_s=10.0)
+
+
+class TestAttach:
+    def test_attach_validates_vcpu_count(self, hypervisor):
+        from repro.virt.template import SMALL
+
+        vm = hypervisor.provision(SMALL, "vm-a")
+        with pytest.raises(ValueError):
+            attach(vm, ConstantWorkload(4))
+        w = attach(vm, ConstantWorkload(2))
+        assert vm.workload is w

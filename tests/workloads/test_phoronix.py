@@ -1,0 +1,71 @@
+"""Tests for the compress-7zip and openssl workload models."""
+
+import pytest
+
+from repro.workloads.compress7zip import Compress7Zip
+from repro.workloads.openssl_ import OpenSSLSpeed
+
+
+class TestCompress7Zip:
+    def test_full_demand_during_compute(self):
+        w = Compress7Zip(2, dip_period=25.0, dip_duration=3.0)
+        assert w.demand(0, 5.0) == 1.0
+
+    def test_dip_window(self):
+        w = Compress7Zip(2, dip_period=25.0, dip_duration=3.0, dip_level=0.15)
+        assert not w.in_dip(21.9)
+        assert w.in_dip(22.0)
+        assert w.in_dip(24.9)
+        assert w.demand(0, 23.0) == pytest.approx(0.15)
+        # next cycle
+        assert not w.in_dip(25.0)
+        assert w.in_dip(47.5)
+
+    def test_dips_relative_to_start_time(self):
+        w = Compress7Zip(2, start_time=100.0, dip_period=25.0, dip_duration=3.0)
+        assert w.demand(0, 50.0) == 0.0
+        assert not w.in_dip(50.0)
+        assert w.in_dip(123.0)
+
+    def test_no_demand_when_finished(self):
+        w = Compress7Zip(1, iterations=1, work_per_iteration_mhz_s=10.0)
+        w.advance(0, 0.0, 1.0, 1.0, 10.0)
+        assert w.finished
+        assert w.demand(0, 1.0) == 0.0
+
+    def test_fifteen_iterations_default(self):
+        assert Compress7Zip(2).iterations == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Compress7Zip(2, dip_period=5.0, dip_duration=5.0)
+        with pytest.raises(ValueError):
+            Compress7Zip(2, dip_level=1.5)
+
+    def test_score_reflects_throughput(self):
+        """Running at half the effective frequency halves the score."""
+        fast = Compress7Zip(1, iterations=1, work_per_iteration_mhz_s=100.0)
+        slow = Compress7Zip(1, iterations=1, work_per_iteration_mhz_s=100.0)
+        for step in range(1):
+            fast.advance(0, float(step), 1.0, 1.0, 100.0)
+        for step in range(2):
+            slow.advance(0, float(step), 1.0, 1.0, 50.0)
+        assert fast.scores[0].score == pytest.approx(2 * slow.scores[0].score)
+
+
+class TestOpenSSL:
+    def test_steady_demand(self):
+        w = OpenSSLSpeed(4)
+        for t in (0.0, 10.0, 100.0):
+            assert w.demand(0, t) == 1.0
+
+    def test_finishes_and_goes_idle(self):
+        w = OpenSSLSpeed(1, iterations=2, work_per_iteration_mhz_s=10.0)
+        w.advance(0, 0.0, 1.0, 2.0, 10.0)
+        assert w.finished
+        assert w.demand(0, 1.0) == 0.0
+
+    def test_start_time_respected(self):
+        w = OpenSSLSpeed(4, start_time=100.0)
+        assert w.demand(0, 99.0) == 0.0
+        assert w.demand(0, 100.0) == 1.0

@@ -1,0 +1,83 @@
+"""Tests for the PTS-like benchmark suite runner."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.compress7zip import Compress7Zip
+from repro.workloads.suite import BenchmarkSuite, SuiteResult, RunResult
+from tests.conftest import make_host
+
+ONE = VMTemplate("one", vcpus=1, vfreq_mhz=2000.0)
+
+
+def build_suite(n_vms=2):
+    node, hv, ctrl = make_host()
+    sim = Simulation(node, hv, controller=ctrl, dt=0.5)
+    suite = BenchmarkSuite(sim)
+    vms = []
+    for k in range(n_vms):
+        vm = hv.provision(ONE, f"one-{k}")
+        ctrl.register_vm(vm.name, ONE.vfreq_mhz)
+        suite.add(vm, Compress7Zip(1, iterations=3, work_per_iteration_mhz_s=4_000.0))
+        vms.append(vm)
+    return suite, vms
+
+
+class TestSuiteRun:
+    def test_runs_to_completion(self):
+        suite, vms = build_suite()
+        result = suite.run(deadline_s=120.0)
+        assert all(vm.workload.finished for vm in vms)
+        assert result.wall_seconds < 120.0
+
+    def test_per_vm_statistics(self):
+        suite, _ = build_suite()
+        result = suite.run(deadline_s=120.0)
+        r = result.by_vm("one-0")
+        assert r.iterations == 3
+        assert r.minimum <= r.mean_score <= r.maximum
+        assert r.stddev >= 0
+
+    def test_class_aggregation(self):
+        suite, _ = build_suite(n_vms=3)
+        result = suite.run(deadline_s=120.0)
+        assert result.class_mean("one") > 0
+        assert result.class_relative_deviation_pct("one") >= 0
+
+    def test_unknown_vm_and_prefix(self):
+        suite, _ = build_suite()
+        result = suite.run(deadline_s=120.0)
+        with pytest.raises(KeyError):
+            result.by_vm("ghost")
+        with pytest.raises(KeyError):
+            result.class_mean("ghost")
+
+    def test_deadline_cuts_off(self):
+        suite, vms = build_suite()
+        # make it impossible: huge work, tiny deadline
+        vms[0].workload.work_per_iteration = 1e12
+        result = suite.run(deadline_s=3.0)
+        r = result.by_vm("one-0")
+        assert r.iterations == 0
+        assert r.mean_score == 0.0
+
+    def test_settle_keeps_running(self):
+        suite, _ = build_suite()
+        result = suite.run(deadline_s=120.0, settle_s=5.0)
+        assert suite.simulation.t >= result.wall_seconds
+
+    def test_deadline_validation(self):
+        suite, _ = build_suite()
+        with pytest.raises(ValueError):
+            suite.run(deadline_s=0.0)
+
+
+class TestTestResult:
+    def test_relative_deviation(self):
+        r = RunResult("x", 3, mean_score=200.0, stddev=10.0, minimum=1, maximum=2)
+        assert r.relative_deviation_pct == pytest.approx(5.0)
+
+    def test_zero_mean_guarded(self):
+        r = RunResult("x", 0, 0.0, 0.0, 0.0, 0.0)
+        assert r.relative_deviation_pct == 0.0

@@ -1,0 +1,89 @@
+"""Tests for trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import SineWorkload
+from repro.workloads.trace import TraceRecorder, TraceWorkload
+
+
+class TestRecorder:
+    def test_record_and_shapes(self):
+        rec = TraceRecorder(2)
+        rec.record(0.0, [0.1, 0.2])
+        rec.record(1.0, [0.3, 0.4])
+        assert rec.times.tolist() == [0.0, 1.0]
+        assert rec.demands.shape == (2, 2)
+
+    def test_monotonic_time_enforced(self):
+        rec = TraceRecorder(1)
+        rec.record(1.0, [0.5])
+        with pytest.raises(ValueError):
+            rec.record(1.0, [0.5])
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(2).record(0.0, [0.5])
+
+    def test_sample_a_workload(self):
+        rec = TraceRecorder(1)
+        w = SineWorkload(1)
+        for t in (0.0, 10.0, 20.0):
+            rec.sample(w, t)
+        assert len(rec.times) == 3
+
+
+class TestReplay:
+    def _trace(self):
+        return TraceWorkload(
+            1,
+            times=[0.0, 10.0, 20.0],
+            demands=np.array([[0.1], [0.5], [0.9]]),
+        )
+
+    def test_zero_order_hold(self):
+        w = self._trace()
+        assert w.demand(0, 0.0) == 0.1
+        assert w.demand(0, 9.99) == 0.1
+        assert w.demand(0, 10.0) == 0.5
+        assert w.demand(0, 25.0) == 0.9  # holds last value
+
+    def test_loop_mode_wraps(self):
+        w = TraceWorkload(
+            1,
+            times=[0.0, 10.0, 20.0],
+            demands=np.array([[0.1], [0.5], [0.9]]),
+            loop=True,
+        )
+        assert w.demand(0, 21.0) == pytest.approx(0.1)
+        assert w.demand(0, 31.0) == pytest.approx(0.5)
+
+    def test_roundtrip_through_recorder(self):
+        rec = TraceRecorder(1)
+        src = SineWorkload(1, period=40.0)
+        ts = np.arange(0.0, 40.0, 1.0)
+        for t in ts:
+            rec.sample(src, float(t))
+        replay = rec.to_workload()
+        for t in ts:
+            assert replay.demand(0, float(t)) == pytest.approx(src.demand(0, float(t)))
+
+    def test_start_time_shift(self):
+        w = TraceWorkload(
+            1, times=[0.0, 10.0], demands=np.array([[0.2], [0.8]]), start_time=100.0
+        )
+        assert w.demand(0, 50.0) == 0.0
+        assert w.demand(0, 100.0) == 0.2
+        assert w.demand(0, 110.0) == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(1, times=[], demands=np.zeros((0, 1)))
+        with pytest.raises(ValueError):
+            TraceWorkload(1, times=[0.0, 0.0], demands=np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            TraceWorkload(1, times=[0.0], demands=np.array([[1.5]]))
+        with pytest.raises(ValueError):
+            TraceWorkload(2, times=[0.0], demands=np.array([[0.5]]))
+        with pytest.raises(IndexError):
+            self._trace().demand(3, 0.0)

@@ -1,0 +1,87 @@
+"""Tests for the latency-oriented web-server workload."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+from repro.virt.template import VMTemplate
+from repro.workloads.base import attach
+from repro.workloads.webserver import WebServerWorkload
+from tests.conftest import make_host
+
+WEB = VMTemplate("web", vcpus=2, vfreq_mhz=1200.0)
+
+
+class TestQueueMechanics:
+    def test_deterministic_arrivals(self):
+        a = WebServerWorkload(1, rps=5.0, seed=7)
+        b = WebServerWorkload(1, rps=5.0, seed=7)
+        assert (a._arrivals == b._arrivals).all()
+
+    def test_demand_full_when_queued_idle_otherwise(self):
+        w = WebServerWorkload(1, rps=0.5, idle_level=0.05, seed=1)
+        first = float(w._arrivals[0])
+        assert w.demand(0, first * 0.5) == 0.05  # nothing arrived yet
+        assert w.demand(0, first + 0.01) == 1.0
+
+    def test_requests_complete_and_record_latency(self):
+        w = WebServerWorkload(1, rps=1.0, work_per_request_mhz_s=100.0, seed=2)
+        t = float(w._arrivals[0])
+        w.demand(0, t + 0.01)
+        w.advance(0, t + 0.01, 0.5, cpu_seconds=0.5, freq_mhz=2400.0)
+        assert w.served >= 1
+        assert all(rt >= 0 for rt in w.response_times)
+
+    def test_partial_service_keeps_request_queued(self):
+        w = WebServerWorkload(1, rps=0.1, work_per_request_mhz_s=10_000.0, seed=3)
+        t = float(w._arrivals[0])
+        w.advance(0, t, 0.5, cpu_seconds=0.5, freq_mhz=100.0)  # 50 of 10k
+        assert w.queue_depth == 1
+        assert w.served == 0
+
+    def test_budget_spans_multiple_requests(self):
+        w = WebServerWorkload(1, rps=100.0, work_per_request_mhz_s=10.0, seed=4)
+        t = float(w._arrivals[10])
+        w.advance(0, t, 0.5, cpu_seconds=0.5, freq_mhz=2400.0)  # 1200 MHz*s
+        assert w.served >= 10
+
+    def test_percentiles(self):
+        w = WebServerWorkload(1, rps=1.0, seed=5)
+        w.response_times = [0.01, 0.02, 0.10]
+        assert w.percentile_ms(50) == pytest.approx(20.0)
+        assert w.mean_ms() == pytest.approx(130.0 / 3.0)
+        empty = WebServerWorkload(1, rps=1.0, seed=5)
+        with pytest.raises(ValueError):
+            empty.percentile_ms(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebServerWorkload(1, rps=0.0)
+        with pytest.raises(ValueError):
+            WebServerWorkload(1, rps=1.0, work_per_request_mhz_s=0.0)
+        with pytest.raises(ValueError):
+            WebServerWorkload(1, rps=1.0, idle_level=2.0)
+
+
+class TestInSimulation:
+    def test_latency_reflects_capping(self):
+        """The same request stream served at a 10x lower cap shows a much
+        higher p99 — the customer-visible effect of starvation."""
+        latencies = {}
+        for label, quota_ratio in (("fast", None), ("slow", 0.05)):
+            node, hv, _ = make_host()
+            vm = hv.provision(WEB, "web")
+            attach(vm, WebServerWorkload(
+                2, rps=4.0, work_per_request_mhz_s=300.0, seed=9
+            ))
+            if quota_ratio is not None:
+                from repro.cgroups.cpu import QuotaSpec
+
+                for vcpu in vm.vcpus:
+                    node.fs.set_quota(
+                        vcpu.cgroup_path,
+                        QuotaSpec(int(quota_ratio * 100_000), 100_000),
+                    )
+            sim = Simulation(node, hv, dt=0.25)
+            sim.run(60.0)
+            latencies[label] = vm.workload.percentile_ms(99)
+        assert latencies["slow"] > 5 * latencies["fast"]
