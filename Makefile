@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench bench-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# quick backend-batching A/B with tiny parameters (CI gate: the batched
+# backend must issue strictly fewer fs ops/tick than the seed walk, with
+# a bit-identical report stream)
+bench-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_backend_batching.py --benchmark-only -q
 
 # the printed tables + CSVs for every paper figure/table
 figures: bench

@@ -38,6 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run to completion and print per-iteration scores")
     p1.add_argument("--chart", action="store_true",
                     help="render the frequency series as an ASCII chart")
+    _add_controller_flags(p1)
 
     p2 = sub.add_parser("eval2", help="second evaluation (Table V)")
     p2.add_argument("--config", choices=("A", "B", "both"), default="both")
@@ -46,6 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--dt", type=float, default=0.5)
     p2.add_argument("--chart", action="store_true",
                     help="render the frequency series as an ASCII chart")
+    _add_controller_flags(p2)
 
     p3 = sub.add_parser("placement", help="the §IV-C placement study")
     p3.add_argument("--consolidation", type=float, default=1.8,
@@ -58,8 +60,42 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--horizon", type=float, default=600.0)
     p5.add_argument("--rate", type=float, default=0.06, help="VM arrivals per second")
     p5.add_argument("--seed", type=int, default=42)
+    p5.add_argument("--workers", type=int, default=None,
+                    help="thread-pool size for the node-manager control plane")
+    p5.add_argument("--serial", action="store_true",
+                    help="tick nodes one by one instead of in parallel")
 
     return parser
+
+
+def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
+    """Controller knobs shared by the evaluation commands.
+
+    ``None`` defaults mean "keep the paper's evaluation setting"; any
+    value given is routed through
+    :meth:`~repro.core.config.ControllerConfig.with_overrides`, so an
+    invalid combination fails with the config validation error rather
+    than deep inside a run.
+    """
+    parser.add_argument("--period", type=float, default=None, metavar="S",
+                        help="controller loop period in seconds (paper: 1.0)")
+    parser.add_argument("--reserve-guarantee", action="store_true",
+                        help="always reserve the full guarantee C_i "
+                             "instead of the demand-gated Eq. 5")
+    parser.add_argument("--auction-priority", choices=("credits", "frequency"),
+                        default=None,
+                        help="auction shopping order (paper: credits)")
+
+
+def _config_overrides(args) -> dict:
+    overrides = {}
+    if args.period is not None:
+        overrides["period_s"] = args.period
+    if args.reserve_guarantee:
+        overrides["reserve_guarantee"] = True
+    if args.auction_priority is not None:
+        overrides["auction_priority"] = args.auction_priority
+    return overrides
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -113,6 +149,11 @@ def _cmd_eval1(args) -> int:
         dt=args.dt,
         run_to_completion=args.scores,
     )
+    overrides = _config_overrides(args)
+    if overrides:
+        scenario.controller_config = scenario.controller_config.with_overrides(
+            **overrides
+        )
     for label, controlled in _configs(args.config):
         result = scenario.run(controlled=controlled)
         _print_freq_tables(
@@ -133,6 +174,11 @@ def _cmd_eval2(args) -> int:
     scenario = eval2_chetemi(
         duration=args.duration, time_scale=args.time_scale, dt=args.dt
     )
+    overrides = _config_overrides(args)
+    if overrides:
+        scenario.controller_config = scenario.controller_config.with_overrides(
+            **overrides
+        )
     for _, controlled in _configs(args.config):
         result = scenario.run(controlled=controlled)
         _print_freq_tables(
@@ -201,6 +247,14 @@ def _cmd_overhead(args) -> int:
     print(render_table(["stage", "mean ms/iteration"], rows,
                        title=f"controller overhead over {len(reports)} iterations "
                              f"(30 VMs / 80 vCPUs)"))
+    stats = sim.controller.backend.stats
+    op_rows = [
+        [op, count, f"{count / max(len(reports), 1):.1f}"]
+        for op, count in stats.as_dict().items()
+    ]
+    op_rows.append(["total", stats.total_ops, f"{stats.total_ops / max(len(reports), 1):.1f}"])
+    print(render_table(["kernel-surface op", "count", "per iteration"], op_rows,
+                       title="backend operation budget (batched)"))
     return 0
 
 
@@ -237,6 +291,8 @@ def _cmd_operator(args) -> int:
             controlled=controlled,
             dt=0.5,
             enforce_admission=admission,
+            parallel=not args.serial,
+            max_workers=args.workers,
         )
         outcome = CloudOperator(sim, constraint, workload_for).run(
             events, horizon_s=args.horizon

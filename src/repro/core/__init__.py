@@ -13,6 +13,8 @@ The controller only touches kernel surfaces (cgroupfs, /proc, sysfs), so
 it runs unchanged against any host exposing those files.
 """
 
+from repro.core.api import Controller
+from repro.core.backend import BackendStats, BatchStats, HostBackend
 from repro.core.config import ControllerConfig
 from repro.core.units import cycles_per_period, guaranteed_cycles, cycles_to_mhz, mhz_to_cycles
 from repro.core.monitor import Monitor, VCpuSample
@@ -23,9 +25,18 @@ from repro.core.distribute import distribute_leftovers
 from repro.core.enforcer import Enforcer
 from repro.core.controller import VirtualFrequencyController, ControllerReport
 from repro.core.snapshot import snapshot, restore, to_json, from_json
-from repro.core.metrics_export import render_controller, render_report
+from repro.core.metrics_export import (
+    render_backend_stats,
+    render_controller,
+    render_node_manager,
+    render_report,
+)
 
 __all__ = [
+    "Controller",
+    "HostBackend",
+    "BackendStats",
+    "BatchStats",
     "ControllerConfig",
     "cycles_per_period",
     "guaranteed_cycles",
@@ -47,6 +58,8 @@ __all__ = [
     "restore",
     "to_json",
     "from_json",
+    "render_backend_stats",
     "render_controller",
+    "render_node_manager",
     "render_report",
 ]

@@ -1,0 +1,43 @@
+"""The shared controller API.
+
+Engines, the multi-node control plane and the benchmarks accept *any*
+per-node controller — the paper's :class:`VirtualFrequencyController`
+or the VMDFS-style share baseline — through one structural protocol,
+so no caller ever needs an ``isinstance`` check:
+
+* ``register_vm(vm_name, vfreq_mhz)`` — declare a hosted VM (the
+  baseline ignores the frequency; it has no notion of guarantees,
+  which is exactly the §II criticism);
+* ``unregister_vm(vm_name)`` — drop all state for a departed VM;
+* ``tick(t) -> ControllerReport`` — one control iteration at
+  simulation time ``t``;
+* ``period_s`` — the loop period, so engines can schedule ticks
+  without reaching into implementation-specific config objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import ControllerReport
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """What every per-node controller exposes to engines and managers."""
+
+    #: Control-loop period in seconds.
+    period_s: float
+
+    def register_vm(self, vm_name: str, vfreq_mhz: float) -> None:
+        """Declare a hosted VM (and its guaranteed virtual frequency)."""
+        ...
+
+    def unregister_vm(self, vm_name: str) -> None:
+        """Forget a departed VM's state."""
+        ...
+
+    def tick(self, t: float) -> "ControllerReport":
+        """Run one control iteration at simulation time ``t``."""
+        ...

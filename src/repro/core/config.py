@@ -12,7 +12,7 @@ defaults equal the evaluation configuration (2.0x up, 0.95x down).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -114,8 +114,26 @@ class ControllerConfig:
         """The exact configuration used in the paper's evaluation."""
         return cls.from_percent(**overrides)
 
+    def with_overrides(self, **overrides) -> "ControllerConfig":
+        """A validated copy with the given knobs replaced.
+
+        The canonical way to derive a configuration from flags or an
+        API request: the original is never mutated (the dataclass is
+        frozen anyway) and the copy passes through ``__post_init__``
+        validation, so an inconsistent override set fails loudly.
+
+        >>> cfg = ControllerConfig.paper_evaluation()
+        >>> cfg.with_overrides(period_s=2.0).period_s
+        2.0
+        """
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown config field(s): {', '.join(sorted(unknown))}"
+            )
+        return replace(self, **overrides)
+
     def monitoring_only(self) -> "ControllerConfig":
         """Configuration A: same settings, capping disabled."""
-        from dataclasses import replace
-
-        return replace(self, control_enabled=False)
+        return self.with_overrides(control_enabled=False)

@@ -2,9 +2,11 @@
 
 One :meth:`VirtualFrequencyController.tick` is one iteration of the
 paper's Fig. 2 loop.  The controller talks to the host exclusively
-through kernel surfaces (cgroupfs / procfs / sysfs) plus a registry of
-VM guarantees (on a real host: the template's virtual frequency from the
-provisioning layer).
+through one :class:`~repro.core.backend.HostBackend` — the batched
+facade over the kernel surfaces (cgroupfs / procfs / sysfs) — plus a
+registry of VM guarantees (on a real host: the template's virtual
+frequency from the provisioning layer).  It implements the shared
+:class:`~repro.core.api.Controller` protocol.
 
 Configuration A (the paper's baseline) is the same object with
 ``config.control_enabled = False``: the monitoring stage runs — its cost
@@ -22,6 +24,7 @@ from repro.cgroups.fs import CgroupFS
 from repro.cgroups.procfs import ProcFS
 from repro.cgroups.sysfs import CpuFreqSysFS
 from repro.core.auction import AuctionOutcome, compute_market, run_auction
+from repro.core.backend import HostBackend, vm_component
 from repro.core.config import ControllerConfig
 from repro.core.credits import CreditLedger, apply_base_capping
 from repro.core.distribute import distribute_leftovers
@@ -82,29 +85,42 @@ class VirtualFrequencyController:
 
     def __init__(
         self,
-        fs: CgroupFS,
-        procfs: ProcFS,
-        sysfs: CpuFreqSysFS,
+        fs,
+        procfs: Optional[ProcFS] = None,
+        sysfs: Optional[CpuFreqSysFS] = None,
         *,
         num_cpus: int,
         fmax_mhz: float,
         config: Optional[ControllerConfig] = None,
         machine_slice: str = "/machine.slice",
+        backend: Optional[HostBackend] = None,
     ) -> None:
         self.config = config or ControllerConfig.paper_evaluation()
-        self.fs = fs
+        if backend is None:
+            if isinstance(fs, HostBackend):
+                backend = fs
+            else:
+                backend = HostBackend(
+                    fs, procfs, sysfs, machine_slice=machine_slice
+                )
+        self.backend = backend
+        self.fs = backend.fs
+        self.machine_slice = backend.machine_slice
         self.num_cpus = num_cpus
         self.fmax_mhz = fmax_mhz
-        self.monitor = Monitor(
-            fs, procfs, sysfs, machine_slice=machine_slice, period_s=self.config.period_s
-        )
+        self.monitor = Monitor(backend, period_s=self.config.period_s)
         self.estimator = TrendEstimator(self.config)
         self.ledger = CreditLedger(self.config)
-        self.enforcer = Enforcer(fs, self.config)
+        self.enforcer = Enforcer(backend, self.config)
         self._vm_vfreq: Dict[str, float] = {}
         self._current_cap: Dict[str, float] = {}
         self.reports: List[ControllerReport] = []
         self.keep_reports: bool = True
+
+    @property
+    def period_s(self) -> float:
+        """Control-loop period (the shared Controller protocol surface)."""
+        return self.config.period_s
 
     # -- VM registry ------------------------------------------------------------
 
@@ -117,6 +133,8 @@ class VirtualFrequencyController:
                 f"guarantee {vfreq_mhz} MHz exceeds host F_MAX {self.fmax_mhz} MHz"
             )
         self._vm_vfreq[vm_name] = vfreq_mhz
+        # VM churn invalidates the backend's cached cgroup topology.
+        self.backend.invalidate()
 
     def set_vfreq(self, vm_name: str, vfreq_mhz: float) -> None:
         """Reconfigure a running VM's guaranteed virtual frequency.
@@ -132,10 +150,20 @@ class VirtualFrequencyController:
     def unregister_vm(self, vm_name: str) -> None:
         self._vm_vfreq.pop(vm_name, None)
         self.ledger.forget(vm_name)
-        for path in [p for p in self._current_cap if f"/{vm_name}/" in p]:
+        # Match on the parsed VM path component, not a substring — a
+        # substring test would let "vm-1" also claim "foo/vm-1/..."
+        # nested names.
+        matches = [
+            p
+            for p in self._current_cap
+            if vm_component(p, self.machine_slice) == vm_name
+        ]
+        for path in matches:
             self._current_cap.pop(path, None)
             self.estimator.forget(path)
             self.monitor.forget(path)
+            self.backend.forget_vcpu(path)
+        self.backend.invalidate()
 
     def guaranteed_cycles_of(self, vm_name: str) -> float:
         """``C_i`` for one vCPU of the named VM (Eq. 2)."""

@@ -10,13 +10,18 @@ The cgroup enforcement period (default 100 ms) is shorter than the
 controller period, so the quota is the allocation scaled by
 ``enforcement_period / p``.  The kernel rejects quotas below 1 ms; the
 enforcer floors writes accordingly.
+
+The actual writes go through a :class:`~repro.core.backend.HostBackend`,
+which coalesces them: a quota already in force is not rewritten, so a
+converged controller issues zero write syscalls per tick.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping
 
-from repro.cgroups.fs import CgroupFS, CgroupVersion
+from repro.cgroups.fs import CgroupFS
+from repro.core.backend import HostBackend
 from repro.core.config import ControllerConfig
 from repro.core.units import period_us
 
@@ -25,25 +30,41 @@ MIN_QUOTA_US = 1_000
 
 
 class Enforcer:
-    """Writes cycle allocations as cgroup quotas."""
+    """Writes cycle allocations as cgroup quotas through the backend."""
 
-    def __init__(self, fs: CgroupFS, config: ControllerConfig) -> None:
-        self.fs = fs
+    def __init__(self, fs, config: ControllerConfig) -> None:
+        if isinstance(fs, HostBackend):
+            self.backend = fs
+        else:
+            self.backend = HostBackend(fs)
         self.config = config
         self._last_written: Dict[str, int] = {}
 
+    @property
+    def fs(self) -> CgroupFS:
+        return self.backend.fs
+
     def apply(self, allocations: Mapping[str, float]) -> Dict[str, int]:
-        """Write every vCPU's allocation; returns quotas written (µs).
+        """Write every vCPU's allocation; returns quotas in force (µs).
 
         A vCPU cgroup may vanish between stages of the same iteration
         (VM teardown races the loop on a real host); such paths are
-        skipped silently, like a production controller must.
+        skipped silently, like a production controller must.  Writes
+        are batched through :meth:`HostBackend.write_caps`, which skips
+        values already in place.
         """
-        written: Dict[str, int] = {}
+        quotas: Dict[str, int] = {}
         for path, cycles in allocations.items():
-            try:
-                written[path] = self.apply_one(path, cycles)
-            except FileNotFoundError:
+            if cycles < 0:
+                raise ValueError(f"negative allocation for {path}: {cycles}")
+            quotas[path] = self.quota_us(cycles)
+        written = self.backend.write_caps(
+            quotas, self.config.enforcement_period_us
+        )
+        for path in quotas:
+            if path in written:
+                self._last_written[path] = written[path]
+            else:
                 self._last_written.pop(path, None)
         return written
 
@@ -52,22 +73,15 @@ class Enforcer:
         if cycles < 0:
             raise ValueError(f"negative allocation for {vcpu_path}: {cycles}")
         quota = self.quota_us(cycles)
-        period = self.config.enforcement_period_us
-        if self.fs.version is CgroupVersion.V2:
-            self.fs.write(f"{vcpu_path}/cpu.max", f"{quota} {period}")
-        else:
-            self.fs.write(f"{vcpu_path}/cpu.cfs_period_us", str(period))
-            self.fs.write(f"{vcpu_path}/cpu.cfs_quota_us", str(quota))
+        self.backend.write_cap_one(
+            vcpu_path, quota, self.config.enforcement_period_us
+        )
         self._last_written[vcpu_path] = quota
         return quota
 
     def uncap(self, vcpu_path: str) -> None:
         """Remove the bandwidth limit (configuration A / teardown)."""
-        period = self.config.enforcement_period_us
-        if self.fs.version is CgroupVersion.V2:
-            self.fs.write(f"{vcpu_path}/cpu.max", f"max {period}")
-        else:
-            self.fs.write(f"{vcpu_path}/cpu.cfs_quota_us", "-1")
+        self.backend.uncap(vcpu_path, self.config.enforcement_period_us)
         self._last_written.pop(vcpu_path, None)
 
     def quota_us(self, cycles: float) -> int:

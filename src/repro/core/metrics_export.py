@@ -15,9 +15,13 @@ and config) as the Prometheus text format, ready to serve from a
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
+from repro.core.backend import BackendStats
 from repro.core.controller import ControllerReport, VirtualFrequencyController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.node_manager import NodeManager
 
 
 def _escape(value: str) -> str:
@@ -78,8 +82,47 @@ def render_report(report: ControllerReport) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_backend_stats(stats: BackendStats) -> str:
+    """Render cumulative kernel-surface operation counters.
+
+    One counter family labelled by operation kind, so a dashboard can
+    graph the monitoring syscall budget the paper worries about
+    (§IV-A2: monitoring dominates iteration cost).
+    """
+    lines: List[str] = [
+        "# HELP vfreq_backend_ops_total Kernel-surface operations issued.",
+        "# TYPE vfreq_backend_ops_total counter",
+    ]
+    for op, count in stats.as_dict().items():
+        lines.append(_line("vfreq_backend_ops_total", count, op=op))
+    return "\n".join(lines) + "\n"
+
+
 def render_controller(controller: VirtualFrequencyController) -> str:
     """Render the controller's most recent iteration (empty host ok)."""
     if not controller.reports:
-        return render_report(ControllerReport(t=0.0))
-    return render_report(controller.reports[-1])
+        out = render_report(ControllerReport(t=0.0))
+    else:
+        out = render_report(controller.reports[-1])
+    backend = getattr(controller, "backend", None)
+    if backend is not None:
+        out += render_backend_stats(backend.stats)
+    return out
+
+
+def render_node_manager(manager: "NodeManager") -> str:
+    """Render control-plane aggregates: node count, summed stage wall
+    time across the latest tick, and the cluster-wide syscall budget."""
+    timings = manager.aggregate_timings()
+    lines: List[str] = [
+        "# HELP vfreq_nodes_managed Nodes under this control plane.",
+        "# TYPE vfreq_nodes_managed gauge",
+        _line("vfreq_nodes_managed", manager.num_nodes),
+        "# HELP vfreq_nodes_iteration_seconds Summed stage wall time, last tick.",
+        "# TYPE vfreq_nodes_iteration_seconds gauge",
+    ]
+    for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
+        lines.append(
+            _line("vfreq_nodes_iteration_seconds", getattr(timings, stage), stage=stage)
+        )
+    return "\n".join(lines) + "\n" + render_backend_stats(manager.backend_stats())

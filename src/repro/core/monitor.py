@@ -1,142 +1,89 @@
 """Stage 1 — monitoring vCPU resource consumption (paper §III-B1).
 
-Walks the KVM machine slice, and for every vCPU cgroup:
+For every vCPU cgroup under the KVM machine slice:
 
 * reads cumulative CPU usage (``cpu.stat``'s ``usage_usec`` on v2,
   ``cpuacct.usage`` nanoseconds on v1) and diffs against the previous
   iteration to obtain the consumption ``u_{i,j,t}`` in cycles;
-* reads the single KVM tid from ``cgroup.threads``/``tasks``, looks up
-  the core it last ran on in ``/proc/<tid>/stat`` (once per iteration —
-  the paper's deliberate low-overhead choice), reads that core's
-  ``scaling_cur_freq``, and estimates the vCPU's *virtual frequency* as
-  the share of a core consumed times the core's frequency.
+* looks up the vCPU's single KVM tid, the core it last ran on in
+  ``/proc/<tid>/stat`` (once per iteration — the paper's deliberate
+  low-overhead choice), reads that core's ``scaling_cur_freq``, and
+  estimates the vCPU's *virtual frequency* as the share of a core
+  consumed times the core's frequency.
 
-Everything here is file reads — the code would run against a real
-host's /sys, /proc and cgroupfs given the same read interfaces.
+All kernel-surface traffic goes through a
+:class:`~repro.core.backend.HostBackend`, which batches it: the
+tid→cgroup map is cached across iterations (invalidated on VM churn)
+and per-core frequency reads are deduplicated within a pass — see the
+backend module for the §IV-A2 motivation.  ``Monitor`` remains as the
+stage-1 facade; constructing it from raw ``CgroupFS``/``ProcFS``/
+``CpuFreqSysFS`` handles wraps them in a private backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.cgroups.cpu import parse_cpu_stat
-from repro.cgroups.fs import CgroupFS, CgroupVersion
-from repro.cgroups.procfs import ProcFS, parse_stat_line
+from repro.cgroups.fs import CgroupFS
+from repro.cgroups.procfs import ProcFS
 from repro.cgroups.sysfs import CpuFreqSysFS
-from repro.core.units import period_us
+from repro.core.backend import DEFAULT_MACHINE_SLICE, HostBackend, VCpuSample
 
-
-@dataclass(frozen=True)
-class VCpuSample:
-    """Stage-1 output for one vCPU at one controller iteration."""
-
-    vm_name: str
-    vcpu_index: int
-    cgroup_path: str
-    tid: int
-    consumed_cycles: float  # u_{i,j,t}: µs of CPU in the last period
-    core: int
-    core_freq_mhz: float
-    vfreq_mhz: float  # estimated virtual frequency
+__all__ = ["Monitor", "VCpuSample"]
 
 
 class Monitor:
-    """Reads kernel surfaces and produces per-vCPU samples."""
+    """Reads kernel surfaces through a backend, produces per-vCPU samples."""
 
     def __init__(
         self,
-        fs: CgroupFS,
-        procfs: ProcFS,
-        sysfs: CpuFreqSysFS,
+        fs,
+        procfs: Optional[ProcFS] = None,
+        sysfs: Optional[CpuFreqSysFS] = None,
         *,
-        machine_slice: str = "/machine.slice",
+        machine_slice: str = DEFAULT_MACHINE_SLICE,
         period_s: float = 1.0,
     ) -> None:
-        self.fs = fs
-        self.procfs = procfs
-        self.sysfs = sysfs
-        self.machine_slice = machine_slice
+        if isinstance(fs, HostBackend):
+            self.backend = fs
+        else:
+            self.backend = HostBackend(
+                fs, procfs, sysfs, machine_slice=machine_slice
+            )
         self.period_s = period_s
-        self._prev_usage: Dict[str, float] = {}
+
+    # Legacy attribute views (the raw handles now live on the backend).
+
+    @property
+    def fs(self) -> CgroupFS:
+        return self.backend.fs
+
+    @property
+    def procfs(self) -> Optional[ProcFS]:
+        return self.backend.procfs
+
+    @property
+    def sysfs(self) -> Optional[CpuFreqSysFS]:
+        return self.backend.sysfs
+
+    @property
+    def machine_slice(self) -> str:
+        return self.backend.machine_slice
+
+    @property
+    def _prev_usage(self) -> Dict[str, float]:
+        # Live view for snapshot/restore.
+        return self.backend._prev_usage
 
     def sample(self) -> List[VCpuSample]:
         """One monitoring pass over all hosted vCPUs.
 
-        VM teardown races with the walk on a real host (a cgroup listed by
-        readdir may be gone by the time its files are opened, and a tid
-        read from ``cgroup.threads`` may have exited before its
-        ``/proc/<tid>/stat`` is read); such vCPUs are silently skipped,
-        exactly as a production monitor must.
+        VM teardown races with the walk on a real host; such vCPUs are
+        silently skipped, exactly as a production monitor must (see
+        :meth:`HostBackend.read_vcpu_samples`).
         """
-        samples: List[VCpuSample] = []
-        if not self.fs.exists(self.machine_slice):
-            return samples
-        for vm_name in self.fs.listdir(self.machine_slice):
-            vm_path = f"{self.machine_slice}/{vm_name}"
-            try:
-                children = self.fs.listdir(vm_path)
-            except FileNotFoundError:
-                continue  # VM destroyed mid-walk
-            for child in children:
-                if not child.startswith("vcpu"):
-                    continue
-                try:
-                    sample = self._sample_vcpu(vm_name, vm_path, child)
-                except (FileNotFoundError, ProcessLookupError):
-                    self.forget(f"{vm_path}/{child}")
-                    continue
-                if sample is not None:
-                    samples.append(sample)
-        return samples
-
-    def _sample_vcpu(
-        self, vm_name: str, vm_path: str, child: str
-    ) -> Optional[VCpuSample]:
-        vcpu_path = f"{vm_path}/{child}"
-        usage = self._read_usage_usec(vcpu_path)
-        prev = self._prev_usage.get(vcpu_path, usage)
-        self._prev_usage[vcpu_path] = usage
-        consumed = max(0.0, usage - prev)
-
-        tid = self._read_tid(vcpu_path)
-        if tid is None:
-            return None
-        core = self._read_last_core(tid)
-        core_freq_mhz = self.sysfs.scaling_cur_freq(core) / 1000.0
-        share = min(consumed / period_us(self.period_s), 1.0)
-        return VCpuSample(
-            vm_name=vm_name,
-            vcpu_index=int(child[len("vcpu"):]),
-            cgroup_path=vcpu_path,
-            tid=tid,
-            consumed_cycles=consumed,
-            core=core,
-            core_freq_mhz=core_freq_mhz,
-            vfreq_mhz=share * core_freq_mhz,
-        )
+        return self.backend.read_vcpu_samples(self.period_s)
 
     def forget(self, vcpu_path: str) -> None:
         """Drop state for a destroyed vCPU cgroup."""
-        self._prev_usage.pop(vcpu_path, None)
-
-    # -- kernel-surface readers ---------------------------------------------------
-
-    def _read_usage_usec(self, vcpu_path: str) -> float:
-        if self.fs.version is CgroupVersion.V2:
-            stat = parse_cpu_stat(self.fs.read(f"{vcpu_path}/cpu.stat"))
-            return float(stat["usage_usec"])
-        nanos = int(self.fs.read(f"{vcpu_path}/cpuacct.usage").strip())
-        return nanos / 1000.0
-
-    def _read_tid(self, vcpu_path: str) -> Optional[int]:
-        fname = "cgroup.threads" if self.fs.version is CgroupVersion.V2 else "tasks"
-        content = self.fs.read(f"{vcpu_path}/{fname}").split()
-        if not content:
-            return None
-        # KVM vCPU cgroups hold exactly one thread (paper §III-B1).
-        return int(content[0])
-
-    def _read_last_core(self, tid: int) -> int:
-        stat = parse_stat_line(self.procfs.read_stat(tid))
-        return stat.processor
+        self.backend.forget_usage(vcpu_path)

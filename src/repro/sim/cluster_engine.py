@@ -33,6 +33,7 @@ from repro.placement.migration import (
     ThresholdMigrationPolicy,
 )
 from repro.placement.request import PlacementRequest
+from repro.sim.node_manager import NodeManager
 from repro.virt.hypervisor import Hypervisor
 from repro.virt.vm import VMInstance
 from repro.workloads.base import Workload
@@ -86,6 +87,8 @@ class ClusterSimulation:
         migration_policy: Optional[ThresholdMigrationPolicy] = None,
         enforce_admission: bool = True,
         keep_reports: bool = False,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
     ) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -122,6 +125,17 @@ class ClusterSimulation:
                 hypervisor=hypervisor,
                 controller=controller,
             )
+        # The control plane: per-period ticks of all powered-on nodes
+        # run through one NodeManager (thread pool; controllers are
+        # share-nothing so parallel order cannot change the reports).
+        self.node_manager = NodeManager(
+            {
+                node_id: runtime.controller
+                for node_id, runtime in self.runtimes.items()
+            },
+            parallel=parallel,
+            max_workers=max_workers,
+        )
 
     # -- deployment ---------------------------------------------------------------
 
@@ -135,7 +149,9 @@ class ClusterSimulation:
             runtime = self.runtimes[node_id]
             for request in requests:
                 vm = runtime.hypervisor.provision(request.template, request.vm_name)
-                runtime.controller.register_vm(vm.name, request.template.vfreq_mhz)
+                self.node_manager.register_vm(
+                    node_id, vm.name, request.template.vfreq_mhz
+                )
                 workload = workload_for(request)
                 if workload is not None:
                     if workload.num_vcpus != vm.num_vcpus:
@@ -172,8 +188,9 @@ class ClusterSimulation:
             self._subticks += 1
             self._complete_migrations()
             if self._subticks % per_period == 0:
-                for runtime in self._active():
-                    runtime.controller.tick(self.t)
+                self.node_manager.tick(
+                    self.t, node_ids=[r.node_id for r in self._active()]
+                )
                 if self.migration_policy is not None:
                     self._check_migrations()
 
@@ -262,9 +279,11 @@ class ClusterSimulation:
             vm = source.hypervisor.vm(mig.vm_name)
             template, workload = vm.template, vm.workload
             source.hypervisor.destroy(mig.vm_name)
-            source.controller.unregister_vm(mig.vm_name)
+            self.node_manager.unregister_vm(mig.source, mig.vm_name)
             new_vm = target.hypervisor.provision(template, mig.vm_name)
-            target.controller.register_vm(mig.vm_name, template.vfreq_mhz)
+            self.node_manager.register_vm(
+                mig.target, mig.vm_name, template.vfreq_mhz
+            )
             new_vm.workload = workload
             self._paused_until[mig.vm_name] = self.t + mig.downtime_s
         self._in_flight = still

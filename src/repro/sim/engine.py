@@ -18,7 +18,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.controller import ControllerReport, VirtualFrequencyController
+from repro.core.api import Controller
+from repro.core.controller import ControllerReport
 from repro.hw.node import Node
 from repro.sim.metrics import MetricsRecorder
 from repro.virt.hypervisor import Hypervisor
@@ -33,17 +34,19 @@ class Simulation:
         node: Node,
         hypervisor: Hypervisor,
         *,
-        controller: Optional[VirtualFrequencyController] = None,
+        controller: Optional[Controller] = None,
         dt: float = 0.5,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
         if controller is not None:
-            ratio = controller.config.period_s / dt
+            # period_s is part of the Controller protocol — no reaching
+            # into implementation-specific config objects.
+            ratio = controller.period_s / dt
             if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
                 raise ValueError(
-                    f"controller period {controller.config.period_s}s must be an "
+                    f"controller period {controller.period_s}s must be an "
                     f"integer multiple of dt={dt}s"
                 )
         self.node = node
@@ -72,7 +75,7 @@ class Simulation:
             raise ValueError("duration must be >= 0")
         steps = int(round(duration / self.dt))
         ticks_per_period = (
-            int(round(self.controller.config.period_s / self.dt))
+            int(round(self.controller.period_s / self.dt))
             if self.controller
             else None
         )

@@ -1,0 +1,149 @@
+"""Multi-node control plane.
+
+The paper's controller is strictly per-node — each instance owns one
+host's kernel surfaces and never looks across the rack (§III-B).  What
+a deployment still needs is the thin layer above: something that holds
+N per-node controllers, fires their iterations together, and exposes
+aggregate health (stage timings, syscall budgets) to the operator.
+:class:`NodeManager` is that layer.
+
+Because controllers are share-nothing — each one touches only its own
+node's cgroupfs/procfs/sysfs — their ticks can run concurrently on a
+thread pool without any cross-node ordering concerns: the reports of a
+parallel tick are identical to running the same controllers back to
+back.  One ``tick(t)`` is a barrier: it returns only when every node's
+iteration has finished, mirroring the per-period cadence of the
+single-node engines.
+
+Controllers are any :class:`~repro.core.api.Controller`; the manager
+additionally surfaces backend batch statistics for controllers that
+expose a :class:`~repro.core.backend.HostBackend` (duck-typed — a
+controller without ``.backend`` simply contributes nothing).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.core.api import Controller
+from repro.core.backend import BackendStats
+from repro.core.controller import ControllerReport, StageTimings
+
+
+class NodeManager:
+    """Runs N per-node controllers as one control plane.
+
+    ``parallel=False`` (or a single node) degrades to a plain serial
+    loop in registration order — useful both as the reference for
+    determinism tests and to avoid thread overhead for tiny clusters.
+    """
+
+    def __init__(
+        self,
+        controllers: Optional[Dict[str, Controller]] = None,
+        *,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.controllers: Dict[str, Controller] = dict(controllers or {})
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.last_reports: Dict[str, ControllerReport] = {}
+        self.ticks = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- node registry ----------------------------------------------------------
+
+    def add_node(self, node_id: str, controller: Controller) -> None:
+        if node_id in self.controllers:
+            raise ValueError(f"node already managed: {node_id}")
+        self.controllers[node_id] = controller
+
+    def remove_node(self, node_id: str) -> Controller:
+        controller = self.controllers.pop(node_id)
+        self.last_reports.pop(node_id, None)
+        return controller
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.controllers)
+
+    # -- VM routing -------------------------------------------------------------
+
+    def register_vm(self, node_id: str, vm_name: str, vfreq_mhz: float) -> None:
+        """Declare a VM on the named node."""
+        self.controllers[node_id].register_vm(vm_name, vfreq_mhz)
+
+    def unregister_vm(self, node_id: str, vm_name: str) -> None:
+        self.controllers[node_id].unregister_vm(vm_name)
+
+    # -- the control plane tick -------------------------------------------------
+
+    def tick(
+        self, t: float, node_ids: Optional[List[str]] = None
+    ) -> Dict[str, ControllerReport]:
+        """One iteration on every (selected) node; barrier semantics.
+
+        Returns the per-node reports, also kept in :attr:`last_reports`.
+        Reports are independent of execution order because controllers
+        share no state — verified by the node-manager integration tests.
+        """
+        ids = list(self.controllers) if node_ids is None else list(node_ids)
+        reports: Dict[str, ControllerReport] = {}
+        if self.parallel and len(ids) > 1:
+            futures = {
+                node_id: self._pool().submit(self.controllers[node_id].tick, t)
+                for node_id in ids
+            }
+            for node_id, future in futures.items():
+                reports[node_id] = future.result()
+        else:
+            for node_id in ids:
+                reports[node_id] = self.controllers[node_id].tick(t)
+        self.last_reports.update(reports)
+        self.ticks += 1
+        return reports
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            workers = self.max_workers or min(32, max(1, len(self.controllers)))
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="node-tick"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "NodeManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- aggregate telemetry ----------------------------------------------------
+
+    def aggregate_timings(self) -> StageTimings:
+        """Summed per-stage wall-clock across the latest reports."""
+        total = StageTimings()
+        for report in self.last_reports.values():
+            t = report.timings
+            total.monitor += t.monitor
+            total.estimate += t.estimate
+            total.credits += t.credits
+            total.auction += t.auction
+            total.distribute += t.distribute
+            total.enforce += t.enforce
+        return total
+
+    def backend_stats(self) -> BackendStats:
+        """Summed syscall counters across all nodes' backends."""
+        total = BackendStats()
+        for controller in self.controllers.values():
+            backend = getattr(controller, "backend", None)
+            if backend is not None:
+                total = total + backend.stats
+        return total

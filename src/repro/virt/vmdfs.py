@@ -17,13 +17,24 @@ The predictor is an exponentially weighted moving average of per-VM
 consumption, the actuator is the VM cgroup's ``cpu.weight`` — faithful
 to the class of systems cited, without reproducing any one paper's
 exact regression model.
+
+The controller implements the shared
+:class:`~repro.core.api.Controller` protocol
+(``register_vm`` / ``unregister_vm`` / ``tick(t) -> report``), so
+engines and benchmarks drive it exactly like the paper's
+:class:`~repro.core.controller.VirtualFrequencyController`.  The
+pre-protocol ``tick(vms, dt)`` spelling keeps working through a thin
+deprecation shim.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
+from repro.core.controller import ControllerReport
 from repro.virt.vm import VMInstance
 
 #: cgroup v2 weight range.
@@ -38,23 +49,110 @@ class _VmState:
 
 
 class VmdfsController:
-    """Usage-predicting share controller over VM cgroups."""
+    """Usage-predicting share controller over VM cgroups.
 
-    def __init__(self, fs, *, alpha: float = 0.3) -> None:
+    ``vm_lookup`` resolves a VM name to its :class:`VMInstance` when
+    VMs are declared through the protocol's :meth:`register_vm` (e.g.
+    ``hypervisor.vm``); VMs handed over directly via :meth:`watch`
+    need no lookup.
+    """
+
+    def __init__(
+        self,
+        fs,
+        *,
+        alpha: float = 0.3,
+        period_s: float = 1.0,
+        vm_lookup: Optional[Callable[[str], VMInstance]] = None,
+    ) -> None:
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
         self.fs = fs
         self.alpha = alpha
+        self.period_s = period_s
+        self.vm_lookup = vm_lookup
         self._states: Dict[str, _VmState] = {}
+        self._vms: Dict[str, VMInstance] = {}
+        self._last_t: Optional[float] = None
+        self.reports: List[ControllerReport] = []
+        self.keep_reports: bool = True
+
+    # -- VM registry (Controller protocol) --------------------------------------
 
     def watch(self, vm: VMInstance) -> None:
+        """Track a VM by instance (the pre-protocol registration)."""
         self._states[vm.name] = _VmState()
+        self._vms[vm.name] = vm
+
+    def register_vm(self, vm_name: str, vfreq_mhz: float = 0.0) -> None:
+        """Declare a hosted VM.
+
+        ``vfreq_mhz`` is accepted for protocol compatibility and
+        ignored: VMDFS-class systems have no notion of differentiated
+        frequency guarantees — precisely the §II criticism.
+        """
+        vm = self._vms.get(vm_name)
+        if vm is None:
+            if self.vm_lookup is None:
+                raise KeyError(
+                    f"unknown VM {vm_name!r}: watch() it first or construct "
+                    f"the controller with vm_lookup="
+                )
+            vm = self.vm_lookup(vm_name)
+        self.watch(vm)
+
+    def unregister_vm(self, vm_name: str) -> None:
+        self._states.pop(vm_name, None)
+        self._vms.pop(vm_name, None)
 
     def predicted_cores(self, vm_name: str) -> float:
         return self._states[vm_name].ewma_cores
 
-    def tick(self, vms: Mapping[str, VMInstance], dt: float) -> Dict[str, int]:
-        """One control iteration: update predictions, rewrite weights."""
+    # -- the control loop -------------------------------------------------------
+
+    def tick(
+        self,
+        t_or_vms: Union[float, Mapping[str, VMInstance]],
+        dt: Optional[float] = None,
+    ) -> Union[ControllerReport, Dict[str, int]]:
+        """One control iteration.
+
+        Protocol form: ``tick(t)`` at simulation time ``t`` returns a
+        :class:`ControllerReport` whose ``allocations`` map each VM's
+        cgroup path to the weight written.  The pre-protocol form
+        ``tick(vms, dt)`` still returns the raw weight dict, via a
+        deprecation shim.
+        """
+        if dt is not None or isinstance(t_or_vms, Mapping):
+            warnings.warn(
+                "VmdfsController.tick(vms, dt) is deprecated; register VMs "
+                "and call tick(t) (Controller protocol) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self._control(t_or_vms, dt)
+        t = float(t_or_vms)
+        step = self.period_s if self._last_t is None else t - self._last_t
+        t0 = time.perf_counter()
+        written = self._control(self._vms, step)
+        self._last_t = t
+        report = ControllerReport(t=t)
+        report.allocations = {
+            self._vms[name].cgroup_path: float(weight)
+            for name, weight in written.items()
+            if name in self._vms
+        }
+        report.timings.enforce = time.perf_counter() - t0
+        if self.keep_reports:
+            self.reports.append(report)
+        return report
+
+    def _control(
+        self, vms: Mapping[str, VMInstance], dt: float
+    ) -> Dict[str, int]:
+        """Update predictions and rewrite weights for one iteration."""
         if dt <= 0:
             raise ValueError("dt must be positive")
         predictions: Dict[str, float] = {}

@@ -1,0 +1,204 @@
+"""Tests for the batched host-backend I/O layer."""
+
+import pytest
+
+from repro.cgroups.fs import CgroupVersion
+from repro.core.backend import BackendStats, HostBackend, vm_component
+from repro.hw.node import MACHINE_SLICE, Node
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.template import SMALL
+
+
+def make_backend(cgroup_version=CgroupVersion.V2, *, batched=True):
+    from tests.conftest import TINY
+
+    node = Node(TINY, cgroup_version=cgroup_version, seed=1)
+    hv = Hypervisor(node)
+    backend = HostBackend(
+        node.fs, node.procfs, node.sysfs, batched=batched
+    )
+    return node, hv, backend
+
+
+class TestVmComponent:
+    def test_plain_vcpu_path(self):
+        assert vm_component("/machine.slice/vm-1/vcpu0") == "vm-1"
+
+    def test_nested_path_matches_first_component(self):
+        # The substring bug this helper replaces: "/vm-1/" also occurs
+        # in "/machine.slice/foo/vm-1/vcpu0", but the VM there is "foo".
+        assert vm_component("/machine.slice/foo/vm-1/vcpu0") == "foo"
+
+    def test_outside_slice_is_none(self):
+        assert vm_component("/user.slice/task/vcpu0") is None
+        assert vm_component("/machine.slicex/vm/vcpu0") is None
+
+    def test_custom_slice(self):
+        assert vm_component("/my.slice/vm-9/vcpu1", "/my.slice") == "vm-9"
+
+
+class TestSampleValues:
+    """Batched and seed-walk modes must observe identical values."""
+
+    def test_same_samples_both_modes(self, cgroup_version):
+        node_a, hv_a, batched = make_backend(cgroup_version, batched=True)
+        node_b, hv_b, walk = make_backend(cgroup_version, batched=False)
+        for hv in (hv_a, hv_b):
+            hv.provision(SMALL, "vm-a")
+            hv.provision(SMALL, "vm-b")
+        for node, backend in ((node_a, batched), (node_b, walk)):
+            backend.read_vcpu_samples(1.0)
+            for vm in ("vm-a", "vm-b"):
+                node.fs.node(f"{MACHINE_SLICE}/{vm}/vcpu0").cpu.charge(250_000)
+        assert batched.read_vcpu_samples(1.0) == walk.read_vcpu_samples(1.0)
+
+
+class TestCounters:
+    def test_walk_counts_seed_pattern(self):
+        node, hv, backend = make_backend(batched=False)
+        hv.provision(SMALL, "vm-a")  # 2 vCPUs
+        backend.read_vcpu_samples(1.0)
+        s = backend.stats
+        # slice readdir + per-VM readdir; usage + tid read per vCPU;
+        # one proc and one sysfs read per vCPU, no dedup.
+        assert s.fs_listdirs == 2
+        assert s.fs_reads == 4
+        assert s.proc_reads == 2
+        assert s.sysfs_reads == 2
+        assert s.topology_rescans == 0
+
+    def test_batched_steady_state_skips_tid_reads(self):
+        node, hv, backend = make_backend(batched=True)
+        hv.provision(SMALL, "vm-a")
+        backend.read_vcpu_samples(1.0)  # cold: full walk + rescan count
+        assert backend.stats.topology_rescans == 1
+        before = backend.stats.copy()
+        backend.read_vcpu_samples(1.0)
+        delta = backend.stats - before
+        # churn-guard readdir + usage read per vCPU; tids come from the
+        # cache, and both vCPUs on the same core share one sysfs read.
+        assert delta.fs_listdirs == 1
+        assert delta.fs_reads == 2
+        assert delta.proc_reads == 2
+        assert delta.topology_rescans == 0
+        assert delta.sysfs_reads <= 2
+
+    def test_batch_stats_recorded(self):
+        node, hv, backend = make_backend()
+        hv.provision(SMALL, "vm-a")
+        assert backend.last_sample_batch is None
+        backend.read_vcpu_samples(1.0)
+        batch = backend.last_sample_batch
+        assert batch is not None
+        assert batch.seconds >= 0.0
+        assert batch.ops.fs_reads > 0
+
+    def test_stats_algebra(self):
+        a = BackendStats(fs_reads=3, fs_writes=1)
+        b = BackendStats(fs_reads=1, sysfs_reads=2)
+        assert (a + b).fs_reads == 4
+        assert (a - b).fs_reads == 2
+        assert (a + b).total_ops == 7
+        assert a.as_dict()["fs_writes"] == 1
+
+
+class TestCacheInvalidation:
+    def test_late_provision_appears(self, cgroup_version):
+        node, hv, backend = make_backend(cgroup_version)
+        hv.provision(SMALL, "vm-a")
+        assert len(backend.read_vcpu_samples(1.0)) == 2
+        hv.provision(SMALL, "vm-b")  # churn guard must notice
+        samples = backend.read_vcpu_samples(1.0)
+        assert {s.vm_name for s in samples} == {"vm-a", "vm-b"}
+
+    def test_destroy_disappears(self, cgroup_version):
+        node, hv, backend = make_backend(cgroup_version)
+        hv.provision(SMALL, "vm-a")
+        hv.provision(SMALL, "vm-b")
+        backend.read_vcpu_samples(1.0)
+        hv.destroy("vm-b")
+        samples = backend.read_vcpu_samples(1.0)
+        assert {s.vm_name for s in samples} == {"vm-a"}
+
+    def test_explicit_invalidate_forces_rescan(self):
+        node, hv, backend = make_backend()
+        hv.provision(SMALL, "vm-a")
+        backend.read_vcpu_samples(1.0)
+        backend.read_vcpu_samples(1.0)
+        assert backend.stats.topology_rescans == 1
+        backend.invalidate()
+        backend.read_vcpu_samples(1.0)
+        assert backend.stats.topology_rescans == 2
+
+    def test_same_vm_set_does_not_rescan(self):
+        node, hv, backend = make_backend()
+        hv.provision(SMALL, "vm-a")
+        for _ in range(5):
+            backend.read_vcpu_samples(1.0)
+        assert backend.stats.topology_rescans == 1
+
+
+class TestCoalescedWrites:
+    def _vcpu(self, hv):
+        return hv.provision(SMALL, "vm-a").vcpus[0].cgroup_path
+
+    def test_unchanged_write_skipped(self, cgroup_version):
+        node, hv, backend = make_backend(cgroup_version)
+        path = self._vcpu(hv)
+        backend.write_caps({path: 50_000}, 100_000)
+        writes = backend.stats.fs_writes
+        written = backend.write_caps({path: 50_000}, 100_000)
+        assert backend.stats.fs_writes == writes  # no new write issued
+        assert backend.stats.cap_writes_skipped == 1
+        assert written == {path: 50_000}  # still reported as in force
+
+    def test_changed_value_rewritten(self):
+        node, hv, backend = make_backend()
+        path = self._vcpu(hv)
+        backend.write_caps({path: 50_000}, 100_000)
+        backend.write_caps({path: 60_000}, 100_000)
+        assert backend.stats.fs_writes == 2
+        assert node.fs.read(f"{path}/cpu.max").strip() == "60000 100000"
+
+    def test_forget_vcpu_forces_rewrite(self):
+        node, hv, backend = make_backend()
+        path = self._vcpu(hv)
+        backend.write_caps({path: 50_000}, 100_000)
+        backend.forget_vcpu(path)
+        backend.write_caps({path: 50_000}, 100_000)
+        assert backend.stats.fs_writes == 2
+        assert backend.stats.cap_writes_skipped == 0
+
+    def test_unbatched_always_writes(self):
+        node, hv, backend = make_backend(batched=False)
+        path = self._vcpu(hv)
+        backend.write_caps({path: 50_000}, 100_000)
+        backend.write_caps({path: 50_000}, 100_000)
+        assert backend.stats.fs_writes == 2
+        assert backend.stats.cap_writes_skipped == 0
+
+    def test_vanished_cgroup_dropped_from_result(self):
+        node, hv, backend = make_backend()
+        path = self._vcpu(hv)
+        written = backend.write_caps(
+            {path: 50_000, f"{MACHINE_SLICE}/gone/vcpu0": 10_000}, 100_000
+        )
+        assert written == {path: 50_000}
+
+    def test_write_batch_stats_recorded(self):
+        node, hv, backend = make_backend()
+        path = self._vcpu(hv)
+        backend.write_caps({path: 50_000}, 100_000)
+        assert backend.last_write_batch.ops.fs_writes == 1
+        backend.write_caps({path: 50_000}, 100_000)
+        assert backend.last_write_batch.ops.fs_writes == 0
+        assert backend.last_write_batch.ops.cap_writes_skipped == 1
+
+    def test_uncap_clears_cache(self):
+        node, hv, backend = make_backend()
+        path = self._vcpu(hv)
+        backend.write_caps({path: 50_000}, 100_000)
+        backend.uncap(path, 100_000)
+        assert node.fs.read(f"{path}/cpu.max").startswith("max")
+        backend.write_caps({path: 50_000}, 100_000)
+        assert backend.stats.cap_writes_skipped == 0

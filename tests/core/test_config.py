@@ -71,3 +71,32 @@ class TestValidation:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             ControllerConfig().period_s = 2.0
+
+
+class TestWithOverrides:
+    def test_returns_validated_copy(self):
+        cfg = ControllerConfig.paper_evaluation()
+        derived = cfg.with_overrides(period_s=2.0, reserve_guarantee=True)
+        assert derived.period_s == 2.0
+        assert derived.reserve_guarantee
+        assert derived.increase_trigger == cfg.increase_trigger
+        assert cfg.period_s == 1.0  # original untouched
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError, match="unknown config field"):
+            ControllerConfig().with_overrides(not_a_knob=1)
+
+    def test_invalid_value_fails_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig().with_overrides(period_s=-1.0)
+
+    def test_inconsistent_combination_fails(self):
+        # each value is individually legal; the pair violates ordering
+        with pytest.raises(ValueError):
+            ControllerConfig().with_overrides(
+                increase_trigger=0.6, decrease_trigger=0.7
+            )
+
+    def test_empty_overrides_is_equal_copy(self):
+        cfg = ControllerConfig.paper_evaluation()
+        assert cfg.with_overrides() == cfg

@@ -160,6 +160,29 @@ class TestRegistry:
         assert ctrl.ledger.balance("vm") == 0.0
         assert ctrl.estimator.history("/machine.slice/vm/vcpu0").size == 0
 
+    def test_unregister_matches_vm_component_not_substring(self):
+        """A VM directory may contain further sub-directories whose
+        names collide with another VM's; unregistering must key on the
+        parsed VM component, not a path substring."""
+        node, hv, ctrl = make_host()
+        ctrl._current_cap["/machine.slice/vm-1/vcpu0"] = 100.0
+        ctrl._current_cap["/machine.slice/foo/vm-1/vcpu0"] = 200.0
+        ctrl._vm_vfreq["vm-1"] = 1200.0
+        ctrl._vm_vfreq["foo"] = 1200.0
+        ctrl.unregister_vm("vm-1")
+        # foo's nested path contains "/vm-1/" as a substring, but its
+        # VM component is "foo" — it must survive.
+        assert "/machine.slice/vm-1/vcpu0" not in ctrl._current_cap
+        assert "/machine.slice/foo/vm-1/vcpu0" in ctrl._current_cap
+
+    def test_unregister_ignores_prefix_collisions(self):
+        node, hv, ctrl = make_host()
+        ctrl._current_cap["/machine.slice/vm-10/vcpu0"] = 100.0
+        ctrl._vm_vfreq["vm-1"] = 1200.0
+        ctrl._vm_vfreq["vm-10"] = 1200.0
+        ctrl.unregister_vm("vm-1")
+        assert "/machine.slice/vm-10/vcpu0" in ctrl._current_cap
+
 
 class TestCgroupV1:
     def test_full_loop_works_on_v1(self):

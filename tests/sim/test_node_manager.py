@@ -1,0 +1,143 @@
+"""Tests for the multi-node control plane."""
+
+import pytest
+
+from repro.core.api import Controller
+from repro.core.backend import BackendStats
+from repro.sim.node_manager import NodeManager
+from repro.virt.template import SMALL
+from tests.conftest import make_host
+
+
+def _signature(report):
+    """Everything one iteration decided, minus wall-clock timings."""
+    return (
+        report.t,
+        tuple(report.samples),
+        dict(report.decisions),
+        dict(report.allocations),
+        report.market_initial,
+        report.auction,
+        report.freely_distributed,
+        dict(report.wallets),
+    )
+
+
+def _two_node_setup(seed_offset=0):
+    """Two independent hosts with distinct VM populations."""
+    hosts = {}
+    for k, node_id in enumerate(("node-a", "node-b")):
+        node, hv, ctrl = make_host(seed=7 + seed_offset + k)
+        for j in range(k + 1):  # node-a hosts 1 VM, node-b hosts 2
+            vm = hv.provision(SMALL, f"{node_id}-vm-{j}")
+            ctrl.register_vm(vm.name, SMALL.vfreq_mhz)
+            vm.set_uniform_demand(0.8)
+        hosts[node_id] = (node, hv, ctrl)
+    return hosts
+
+
+def _drive(hosts, manager, ticks=4):
+    reports = {}
+    for k in range(ticks):
+        for node, _, _ in hosts.values():
+            node.step(1.0)
+        reports = manager.tick(float(k + 1))
+    return reports
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_sequential(self):
+        """Two nodes ticked on the thread pool report exactly what the
+        same two nodes report when ticked back to back."""
+        par_hosts = _two_node_setup()
+        seq_hosts = _two_node_setup()
+        par = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in par_hosts.items()},
+            parallel=True,
+        )
+        seq = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in seq_hosts.items()},
+            parallel=False,
+        )
+        par_reports = _drive(par_hosts, par)
+        seq_reports = _drive(seq_hosts, seq)
+        par.close()
+        assert set(par_reports) == set(seq_reports) == {"node-a", "node-b"}
+        for node_id in par_reports:
+            assert _signature(par_reports[node_id]) == _signature(
+                seq_reports[node_id]
+            )
+        # And the aggregate syscall budget is identical too.
+        assert par.backend_stats() == seq.backend_stats()
+
+
+class TestRegistry:
+    def test_add_remove(self):
+        hosts = _two_node_setup()
+        manager = NodeManager(parallel=False)
+        for nid, (_, _, ctrl) in hosts.items():
+            manager.add_node(nid, ctrl)
+        assert manager.num_nodes == 2
+        with pytest.raises(ValueError):
+            manager.add_node("node-a", hosts["node-a"][2])
+        removed = manager.remove_node("node-b")
+        assert removed is hosts["node-b"][2]
+        assert manager.num_nodes == 1
+
+    def test_vm_routing(self):
+        hosts = _two_node_setup()
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=False
+        )
+        node, hv, ctrl = hosts["node-a"]
+        vm = hv.provision(SMALL, "routed")
+        manager.register_vm("node-a", "routed", SMALL.vfreq_mhz)
+        reports = _drive(hosts, manager, ticks=1)
+        assert "routed" in {s.vm_name for s in reports["node-a"].samples}
+        manager.unregister_vm("node-a", "routed")
+        hv.destroy("routed")
+        reports = _drive(hosts, manager, ticks=1)
+        assert "routed" not in {s.vm_name for s in reports["node-a"].samples}
+
+    def test_controllers_satisfy_protocol(self):
+        hosts = _two_node_setup()
+        for _, _, ctrl in hosts.values():
+            assert isinstance(ctrl, Controller)
+
+
+class TestAggregates:
+    def test_timings_and_stats_summed(self):
+        hosts = _two_node_setup()
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=False
+        )
+        _drive(hosts, manager, ticks=2)
+        agg = manager.aggregate_timings()
+        per_node = [r.timings for r in manager.last_reports.values()]
+        assert agg.monitor == pytest.approx(sum(t.monitor for t in per_node))
+        assert agg.total == pytest.approx(sum(t.total for t in per_node))
+        stats = manager.backend_stats()
+        assert isinstance(stats, BackendStats)
+        expected = BackendStats()
+        for _, _, ctrl in hosts.values():
+            expected = expected + ctrl.backend.stats
+        assert stats == expected
+        assert stats.fs_reads > 0
+
+    def test_tick_subset(self):
+        hosts = _two_node_setup()
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=False
+        )
+        reports = manager.tick(1.0, node_ids=["node-a"])
+        assert set(reports) == {"node-a"}
+        assert set(manager.last_reports) == {"node-a"}
+
+    def test_context_manager_closes_pool(self):
+        hosts = _two_node_setup()
+        with NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=True
+        ) as manager:
+            _drive(hosts, manager, ticks=1)
+            assert manager._executor is not None
+        assert manager._executor is None

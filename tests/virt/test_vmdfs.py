@@ -97,3 +97,68 @@ class TestPaperCriticism:
         sim.run(2.0)
         vmdfs.tick({"vm": vm}, dt=1.0)
         assert int(node.fs.read(f"{vm.cgroup_path}/cpu.shares")) >= 2
+
+
+class TestControllerProtocol:
+    """VmdfsController speaks the shared Controller API."""
+
+    def _host(self):
+        node, hv, _ = make_host()
+        vmdfs = VmdfsController(node.fs, vm_lookup=hv.vm)
+        return node, hv, vmdfs
+
+    def test_satisfies_protocol(self):
+        from repro.core.api import Controller
+
+        node, hv, vmdfs = self._host()
+        assert isinstance(vmdfs, Controller)
+        assert vmdfs.period_s == 1.0
+
+    def test_register_resolves_via_lookup(self):
+        node, hv, vmdfs = self._host()
+        vm = hv.provision(HUNGRY, "busy")
+        attach(vm, ConstantWorkload(1, level=1.0))
+        vmdfs.register_vm("busy", 1800.0)  # vfreq accepted, ignored
+        sim = Simulation(node, hv, dt=0.5)
+        sim.run(2.0)
+        report = vmdfs.tick(2.0)
+        assert report.t == 2.0
+        assert vm.cgroup_path in report.allocations
+        assert report.timings.enforce >= 0.0
+
+    def test_register_without_lookup_raises(self):
+        node, hv, _ = make_host()
+        vmdfs = VmdfsController(node.fs)
+        with pytest.raises(KeyError):
+            vmdfs.register_vm("ghost", 1800.0)
+
+    def test_unregister_drops_vm(self):
+        node, hv, vmdfs = self._host()
+        hv.provision(HUNGRY, "busy")
+        vmdfs.register_vm("busy", 1800.0)
+        vmdfs.unregister_vm("busy")
+        report = vmdfs.tick(1.0)
+        assert report.allocations == {}
+        with pytest.raises(KeyError):
+            vmdfs.predicted_cores("busy")
+
+    def test_protocol_tick_drives_engine(self):
+        """The engine schedules the VMDFS baseline like any controller —
+        no isinstance checks, just the protocol surface."""
+        node, hv, vmdfs = self._host()
+        vm = hv.provision(HUNGRY, "busy")
+        attach(vm, ConstantWorkload(1, level=1.0))
+        vmdfs.register_vm("busy", 1800.0)
+        sim = Simulation(node, hv, controller=vmdfs, dt=0.5)
+        sim.run(10.0)
+        assert len(vmdfs.reports) == 10
+        assert vmdfs.predicted_cores("busy") > 0.5
+
+    def test_legacy_tick_warns_and_returns_weights(self):
+        node, hv, vmdfs = self._host()
+        vm = hv.provision(HUNGRY, "busy")
+        vmdfs.watch(vm)
+        with pytest.warns(DeprecationWarning):
+            written = vmdfs.tick({"busy": vm}, dt=1.0)
+        assert isinstance(written, dict)
+        assert written["busy"] >= 1
