@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples figures clean
+.PHONY: install test bench bench-smoke bench-faults-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -18,6 +18,12 @@ bench:
 # a bit-identical report stream)
 bench-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_backend_batching.py --benchmark-only -q
+
+# quick chaos drill (CI gate: under the standard fault mix + one crash
+# the control plane never dies unrecovered, healthy nodes tick every
+# period, and occluded vCPUs hold their Eq. 2 guarantee)
+bench-faults-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fault_resilience.py --benchmark-only -q
 
 # the printed tables + CSVs for every paper figure/table
 figures: bench

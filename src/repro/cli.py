@@ -85,6 +85,18 @@ def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--auction-priority", choices=("credits", "frequency"),
                         default=None,
                         help="auction shopping order (paper: credits)")
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="inject faults from a JSON FaultPlan file "
+                             "(chaos drill; see docs/faults.md)")
+    parser.add_argument("--resilience", action="store_true",
+                        help="enable the degraded-mode resilience policy "
+                             "(implied by --fault-plan)")
+    parser.add_argument("--snapshot-path", default=None, metavar="FILE",
+                        help="persist controller state to FILE every "
+                             "--snapshot-every ticks and auto-restore "
+                             "from it on start")
+    parser.add_argument("--snapshot-every", type=int, default=None, metavar="K",
+                        help="ticks between periodic snapshots (default 10)")
 
 
 def _config_overrides(args) -> dict:
@@ -95,6 +107,16 @@ def _config_overrides(args) -> dict:
         overrides["reserve_guarantee"] = True
     if args.auction_priority is not None:
         overrides["auction_priority"] = args.auction_priority
+    if args.fault_plan is not None:
+        overrides["fault_plan_path"] = args.fault_plan
+    if args.fault_plan is not None or args.resilience:
+        from repro.core.resilience import ResiliencePolicy
+
+        overrides["resilience"] = ResiliencePolicy()
+    if args.snapshot_path is not None:
+        overrides["snapshot_path"] = args.snapshot_path
+    if args.snapshot_every is not None:
+        overrides["snapshot_every_ticks"] = args.snapshot_every
     return overrides
 
 

@@ -24,12 +24,15 @@ from repro.core.auction import run_auction, AuctionOutcome
 from repro.core.distribute import distribute_leftovers
 from repro.core.enforcer import Enforcer
 from repro.core.controller import VirtualFrequencyController, ControllerReport
+from repro.core.resilience import DegradedVcpu, ResiliencePolicy, ResilienceStats
 from repro.core.snapshot import snapshot, restore, to_json, from_json
 from repro.core.metrics_export import (
     render_backend_stats,
     render_controller,
+    render_fault_stats,
     render_node_manager,
     render_report,
+    render_resilience,
 )
 
 __all__ = [
@@ -54,12 +57,17 @@ __all__ = [
     "Enforcer",
     "VirtualFrequencyController",
     "ControllerReport",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "DegradedVcpu",
     "snapshot",
     "restore",
     "to_json",
     "from_json",
     "render_backend_stats",
     "render_controller",
+    "render_fault_stats",
     "render_node_manager",
     "render_report",
+    "render_resilience",
 ]

@@ -93,6 +93,16 @@ class BackendStats:
     sysfs_reads: int = 0
     cap_writes_skipped: int = 0
     topology_rescans: int = 0
+    #: vCPUs skipped mid-scan (gone cgroup, dead tid, or — in tolerant
+    #: mode — a transient read error on one of its files).
+    vcpu_skips: int = 0
+    #: Whole VM directories that vanished between readdir and descent.
+    vm_skips: int = 0
+    #: Transient read errors absorbed in tolerant mode (EIO and kin).
+    read_errors: int = 0
+    #: ``cpu.max`` writes that failed with a non-ENOENT error
+    #: (recorded in :attr:`HostBackend.last_write_errors`).
+    write_errors: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -172,9 +182,19 @@ class HostBackend:
         self.sysfs = sysfs
         self.machine_slice = machine_slice
         self.batched = batched
+        #: Absorb transient kernel-surface errors (EIO/EBUSY) instead of
+        #: raising out of the batch: failed sample reads skip the vCPU,
+        #: failed cap writes land in :attr:`last_write_errors`.  Off by
+        #: default — the seed behaviour is fail-fast — and switched on
+        #: by a controller running with a
+        #: :class:`~repro.core.resilience.ResiliencePolicy`.
+        self.tolerate_errors = False
         self.stats = BackendStats()
         self.last_sample_batch: Optional[BatchStats] = None
         self.last_write_batch: Optional[BatchStats] = None
+        #: Per-path errors of the latest :meth:`write_caps` batch
+        #: (tolerant mode only; vanished cgroups are not errors).
+        self.last_write_errors: Dict[str, OSError] = {}
         self._topology: Optional[List[VCpuSlot]] = None
         self._topology_vms: Optional[List[str]] = None
         self._prev_usage: Dict[str, float] = {}
@@ -238,10 +258,21 @@ class HostBackend:
         """
         t0 = time.perf_counter()
         before = self.stats.copy()
-        if self.batched:
-            samples = self._sample_batched(period_s)
-        else:
-            samples = self._sample_walk(period_s)
+        try:
+            if self.batched:
+                samples = self._sample_batched(period_s)
+            else:
+                samples = self._sample_walk(period_s)
+        except OSError:
+            # A failure outside the per-vCPU loops (e.g. the machine
+            # slice readdir itself).  Tolerant mode degrades to "nothing
+            # observed this tick" — the resilience layer carries samples
+            # forward — instead of killing the controller.
+            if not self.tolerate_errors:
+                raise
+            self.stats.read_errors += 1
+            self.invalidate()
+            samples = []
         self.last_sample_batch = BatchStats(
             seconds=time.perf_counter() - t0, ops=self.stats - before
         )
@@ -266,8 +297,18 @@ class HostBackend:
                 samples.append(
                     self._sample_slot(slot, period_s, freq_khz_by_core)
                 )
-            except (FileNotFoundError, ProcessLookupError):
-                dead.append(slot.cgroup_path)
+            except OSError as exc:
+                if isinstance(exc, (FileNotFoundError, ProcessLookupError)):
+                    # vCPU torn down between scans: drop its state.
+                    self.stats.vcpu_skips += 1
+                    dead.append(slot.cgroup_path)
+                elif self.tolerate_errors:
+                    # Transient error (EIO and kin): skip this vCPU for
+                    # one tick but keep its topology slot and baseline.
+                    self.stats.read_errors += 1
+                    self.stats.vcpu_skips += 1
+                else:
+                    raise
         for path in dead:
             self.forget_usage(path)
         if dead:
@@ -293,6 +334,7 @@ class HostBackend:
             try:
                 children = self.listdir(vm_path)
             except FileNotFoundError:
+                self.stats.vm_skips += 1
                 complete = False
                 continue  # VM destroyed mid-walk
             for child in children:
@@ -319,8 +361,15 @@ class HostBackend:
                             slot, consumed, period_s, freq_khz_by_core
                         )
                     )
-                except (FileNotFoundError, ProcessLookupError):
-                    self.forget_usage(vcpu_path)
+                except OSError as exc:
+                    if isinstance(exc, (FileNotFoundError, ProcessLookupError)):
+                        self.stats.vcpu_skips += 1
+                        self.forget_usage(vcpu_path)
+                    elif self.tolerate_errors:
+                        self.stats.read_errors += 1
+                        self.stats.vcpu_skips += 1
+                    else:
+                        raise
                     complete = False
                     continue
                 slots.append(slot)
@@ -406,7 +455,10 @@ class HostBackend:
             else:
                 self.write_file(f"{vcpu_path}/cpu.cfs_period_us", str(key[1]))
                 self.write_file(f"{vcpu_path}/cpu.cfs_quota_us", str(key[0]))
-        except FileNotFoundError:
+        except OSError:
+            # The on-disk value is now unknown (the v1 pair may be
+            # half-applied): drop the cache entry so a retry or a
+            # recreated cgroup is rewritten unconditionally.
             self._last_cap.pop(vcpu_path, None)
             raise
         self._last_cap[vcpu_path] = key
@@ -418,15 +470,25 @@ class HostBackend:
 
         Skipped-because-unchanged paths count as applied.  Paths whose
         cgroup vanished mid-batch (teardown races the loop on a real
-        host) are silently dropped from the result.
+        host) are silently dropped from the result.  In tolerant mode a
+        transient write error (EIO/EBUSY) is recorded per path in
+        :attr:`last_write_errors` instead of aborting the batch, so the
+        controller can retry exactly the failed subset.
         """
         t0 = time.perf_counter()
         before = self.stats.copy()
         written: Dict[str, int] = {}
+        self.last_write_errors = {}
         for path, quota in quotas.items():
             try:
                 self.write_cap_one(path, quota, enforcement_period_us)
             except FileNotFoundError:
+                continue
+            except OSError as exc:
+                if not self.tolerate_errors:
+                    raise
+                self.stats.write_errors += 1
+                self.last_write_errors[path] = exc
                 continue
             written[path] = int(quota)
         self.last_write_batch = BatchStats(

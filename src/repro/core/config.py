@@ -13,6 +13,9 @@ defaults equal the evaluation configuration (2.0x up, 0.95x down).
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.core.resilience import ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,17 @@ class ControllerConfig:
     #: SLA misses on bursty workloads — the trade-off the paper's design
     #: implicitly declined; quantified in bench_operator_study.py.
     reserve_guarantee: bool = False
+    #: Degraded-mode defenses (retry, stale tolerance, guarantee
+    #: fallback); ``None`` keeps the seed fail-fast behaviour.
+    resilience: Optional[ResiliencePolicy] = None
+    #: JSON fault plan to inject at the backend seam (``--fault-plan``);
+    #: consumed by the scenario builder, not by the controller itself.
+    fault_plan_path: Optional[str] = None
+    #: Where to persist periodic state snapshots (``--snapshot-path``).
+    #: A fresh controller auto-restores from this file when it exists.
+    snapshot_path: Optional[str] = None
+    #: Snapshot cadence in controller ticks (used with snapshot_path).
+    snapshot_every_ticks: int = 10
 
     def __post_init__(self) -> None:
         if self.period_s <= 0:
@@ -89,6 +103,8 @@ class ControllerConfig:
                 f"auction_priority must be 'credits' or 'frequency', "
                 f"got {self.auction_priority!r}"
             )
+        if self.snapshot_every_ticks < 1:
+            raise ValueError("snapshot_every_ticks must be >= 1")
 
     @classmethod
     def from_percent(

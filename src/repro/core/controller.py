@@ -16,6 +16,7 @@ vCPUs stay uncapped.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -31,6 +32,7 @@ from repro.core.distribute import distribute_leftovers
 from repro.core.enforcer import Enforcer
 from repro.core.estimator import EstimatorDecision, TrendEstimator
 from repro.core.monitor import Monitor, VCpuSample
+from repro.core.resilience import DegradedVcpu, ResiliencePolicy, ResilienceStats
 from repro.core.units import cycles_per_period, guaranteed_cycles, period_us
 
 
@@ -71,6 +73,9 @@ class ControllerReport:
     freely_distributed: float = 0.0
     wallets: Dict[str, float] = field(default_factory=dict)
     timings: StageTimings = field(default_factory=StageTimings)
+    #: Degraded-mode fallback caps applied this tick (path -> cycles);
+    #: empty without a resilience policy or when all vCPUs are healthy.
+    degraded: Dict[str, float] = field(default_factory=dict)
 
     def vfreq_by_vm(self) -> Dict[str, float]:
         """Average estimated virtual frequency per VM (for Figs. 6-9)."""
@@ -94,6 +99,7 @@ class VirtualFrequencyController:
         config: Optional[ControllerConfig] = None,
         machine_slice: str = "/machine.slice",
         backend: Optional[HostBackend] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.config = config or ControllerConfig.paper_evaluation()
         if backend is None:
@@ -108,14 +114,38 @@ class VirtualFrequencyController:
         self.machine_slice = backend.machine_slice
         self.num_cpus = num_cpus
         self.fmax_mhz = fmax_mhz
-        self.monitor = Monitor(backend, period_s=self.config.period_s)
+        #: Degraded-mode defenses; ``None`` keeps the seed fail-fast
+        #: behaviour (faults at the backend seam raise out of tick()).
+        self.resilience = (
+            resilience if resilience is not None else self.config.resilience
+        )
+        self.resilience_stats = ResilienceStats()
+        if self.resilience is not None:
+            backend.tolerate_errors = True
+        self.monitor = Monitor(
+            backend,
+            period_s=self.config.period_s,
+            stale_max_age=(
+                self.resilience.stale_sample_max_age if self.resilience else 0
+            ),
+        )
         self.estimator = TrendEstimator(self.config)
         self.ledger = CreditLedger(self.config)
         self.enforcer = Enforcer(backend, self.config)
         self._vm_vfreq: Dict[str, float] = {}
         self._current_cap: Dict[str, float] = {}
+        self._degraded: Dict[str, DegradedVcpu] = {}
+        self._tick_count = 0
         self.reports: List[ControllerReport] = []
         self.keep_reports: bool = True
+        if self.config.snapshot_path and os.path.exists(self.config.snapshot_path):
+            # Crash recovery: a restarting controller resumes from the
+            # last periodic snapshot instead of forgetting every wallet
+            # and history (import deferred: snapshot imports this module).
+            from repro.core.snapshot import from_json
+
+            with open(self.config.snapshot_path) as fh:
+                from_json(self, fh.read())
 
     @property
     def period_s(self) -> float:
@@ -163,6 +193,28 @@ class VirtualFrequencyController:
             self.estimator.forget(path)
             self.monitor.forget(path)
             self.backend.forget_vcpu(path)
+        for path in list(self._degraded):
+            if vm_component(path, self.machine_slice) == vm_name:
+                del self._degraded[path]
+                self.monitor.forget(path)
+        self.backend.invalidate()
+
+    def reset(self) -> None:
+        """Drop all per-VM dynamic state, keeping configuration.
+
+        This is the precondition for a safe snapshot restore onto a
+        non-fresh instance: wallets, histories, caps, usage baselines
+        and degraded-mode tracking are cleared (iteration reports are
+        operational history and are kept).
+        """
+        for path in list(self._current_cap):
+            self.backend.forget_vcpu(path)
+        self._vm_vfreq.clear()
+        self._current_cap.clear()
+        self._degraded.clear()
+        self.ledger.clear()
+        self.estimator.reset()
+        self.monitor.reset()
         self.backend.invalidate()
 
     def guaranteed_cycles_of(self, vm_name: str) -> float:
@@ -182,6 +234,8 @@ class VirtualFrequencyController:
         # Stage 1 — monitoring.
         t0 = time.perf_counter()
         samples = [s for s in self.monitor.sample() if s.vm_name in self._vm_vfreq]
+        if self.resilience is not None:
+            self._update_health(samples)
         report.samples = samples
         report.timings.monitor = time.perf_counter() - t0
 
@@ -261,7 +315,27 @@ class VirtualFrequencyController:
         t0 = time.perf_counter()
         for path in allocations:
             allocations[path] = min(allocations[path], p_us)
+        if self.resilience is not None and self._degraded:
+            # Degraded mode: an unobservable vCPU cannot be estimated,
+            # so it is held at a safe cap — its Eq. 2 guarantee C_i
+            # ("guarantee") or the last cap in force ("hold") — instead
+            # of silently dropping out of enforcement.
+            for path, rec in self._degraded.items():
+                if rec.vm_name not in self._vm_vfreq:
+                    continue
+                if (
+                    self.resilience.degraded_action == "hold"
+                    and path in self._current_cap
+                ):
+                    fallback = self._current_cap[path]
+                else:
+                    fallback = self.guaranteed_cycles_of(rec.vm_name)
+                rec.fallback_cycles = min(fallback, p_us)
+                allocations[path] = rec.fallback_cycles
+                report.degraded[path] = rec.fallback_cycles
         self.enforcer.apply(allocations)
+        if self.resilience is not None:
+            self._retry_failed_writes(allocations)
         self._current_cap.update(allocations)
         report.allocations = allocations
         report.timings.enforce = time.perf_counter() - t0
@@ -269,10 +343,76 @@ class VirtualFrequencyController:
         self._finish(report)
         return report
 
+    # -- degraded-mode resilience -------------------------------------------------
+
+    def _update_health(self, samples: List[VCpuSample]) -> None:
+        """Track per-vCPU observability; enter/leave degraded mode.
+
+        Called once per tick, right after monitoring, only when a
+        :class:`ResiliencePolicy` is active.
+        """
+        policy = self.resilience
+        stats = self.resilience_stats
+        stats.stale_samples_used += self.monitor.last_carried
+        missing = self.monitor.missing_ages()
+        if (
+            not samples
+            and self._vm_vfreq
+            and missing
+            and all(age > 0 for age in missing.values())
+        ):
+            stats.monitor_failures += 1
+        # Recoveries first: a path observed again this tick has no
+        # missing-age entry any more.
+        for path in list(self._degraded):
+            if path not in missing:
+                rec = self._degraded.pop(path)
+                stats.recoveries += 1
+                stats.last_recovery_ticks = self._tick_count - rec.since_tick
+        for path, age in missing.items():
+            if age < policy.degraded_after_ticks or path in self._degraded:
+                continue
+            vm_name = vm_component(path, self.machine_slice)
+            if vm_name not in self._vm_vfreq:
+                continue
+            self._degraded[path] = DegradedVcpu(
+                cgroup_path=path, vm_name=vm_name, since_tick=self._tick_count
+            )
+            stats.degraded_transitions += 1
+        stats.degraded_vcpu_ticks += len(self._degraded)
+
+    def _retry_failed_writes(self, allocations: Dict[str, float]) -> None:
+        """Bounded retry-with-backoff for transiently failed cap writes."""
+        policy = self.resilience
+        stats = self.resilience_stats
+        failed = dict(self.backend.last_write_errors)
+        for attempt in range(1, policy.write_retries + 1):
+            if not failed:
+                return
+            stats.write_retries += len(failed)
+            if policy.write_backoff_s:
+                time.sleep(policy.write_backoff_s * attempt)
+            retry = {p: allocations[p] for p in failed if p in allocations}
+            self.enforcer.apply(retry)
+            failed = dict(self.backend.last_write_errors)
+        stats.write_failures += len(failed)
+
+    @property
+    def degraded_vcpus(self) -> int:
+        """vCPUs currently held at their degraded-mode fallback cap."""
+        return len(self._degraded)
+
     def _finish(self, report: ControllerReport) -> None:
         report.wallets = self.ledger.wallets()
         if self.keep_reports:
             self.reports.append(report)
+        self._tick_count += 1
+        cfg = self.config
+        if cfg.snapshot_path and self._tick_count % cfg.snapshot_every_ticks == 0:
+            from repro.core.snapshot import to_json
+
+            with open(cfg.snapshot_path, "w") as fh:
+                fh.write(to_json(self))
 
     # -- reporting helpers ----------------------------------------------------------
 

@@ -34,6 +34,21 @@ class CreditLedger:
     def forget(self, vm_name: str) -> None:
         self._wallets.pop(vm_name, None)
 
+    def clear(self) -> None:
+        """Drop every wallet (controller reset before snapshot restore)."""
+        self._wallets.clear()
+
+    def set_balance(self, vm_name: str, balance: float) -> None:
+        """Load a wallet balance directly (snapshot restore).
+
+        The same invariants as organic accrual apply: never negative,
+        clipped to the configured credit cap.
+        """
+        balance = float(balance)
+        if balance < 0:
+            raise ValueError(f"negative wallet for {vm_name}: {balance}")
+        self._wallets[vm_name] = min(balance, self.config.credit_cap)
+
     def accrue(
         self,
         vm_name: str,

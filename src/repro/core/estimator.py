@@ -93,6 +93,10 @@ class TrendEstimator:
     def forget(self, vcpu_path: str) -> None:
         self._history.pop(vcpu_path, None)
 
+    def reset(self) -> None:
+        """Drop every history (controller reset before snapshot restore)."""
+        self._history.clear()
+
     def history(self, vcpu_path: str) -> np.ndarray:
         return np.asarray(self._history.get(vcpu_path, ()), dtype=np.float64)
 

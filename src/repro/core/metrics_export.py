@@ -98,6 +98,44 @@ def render_backend_stats(stats: BackendStats) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_resilience(controller: VirtualFrequencyController) -> str:
+    """Render fault-handling counters of a resilient controller.
+
+    One event-counter family from :class:`~repro.core.resilience.
+    ResilienceStats`, the degraded-vCPU gauge an operator alerts on,
+    and the latest crash/occlusion recovery latency in ticks.
+    """
+    stats = controller.resilience_stats
+    lines: List[str] = [
+        "# HELP vfreq_resilience_events_total Fault-handling events.",
+        "# TYPE vfreq_resilience_events_total counter",
+    ]
+    for event, count in stats.as_dict().items():
+        if event == "last_recovery_ticks":
+            continue
+        lines.append(_line("vfreq_resilience_events_total", count, event=event))
+    lines += [
+        "# HELP vfreq_degraded_vcpus vCPUs currently on fallback capping.",
+        "# TYPE vfreq_degraded_vcpus gauge",
+        _line("vfreq_degraded_vcpus", controller.degraded_vcpus),
+        "# HELP vfreq_recovery_latency_ticks Ticks the last recovered vCPU spent degraded.",
+        "# TYPE vfreq_recovery_latency_ticks gauge",
+        _line("vfreq_recovery_latency_ticks", stats.last_recovery_ticks),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def render_fault_stats(injector) -> str:
+    """Render injected-fault counters of a FaultInjector backend."""
+    lines: List[str] = [
+        "# HELP vfreq_faults_injected_total Faults fired by the active plan.",
+        "# TYPE vfreq_faults_injected_total counter",
+    ]
+    for kind, count in sorted(injector.injected.items()):
+        lines.append(_line("vfreq_faults_injected_total", count, kind=kind))
+    return "\n".join(lines) + "\n"
+
+
 def render_controller(controller: VirtualFrequencyController) -> str:
     """Render the controller's most recent iteration (empty host ok)."""
     if not controller.reports:
@@ -107,6 +145,10 @@ def render_controller(controller: VirtualFrequencyController) -> str:
     backend = getattr(controller, "backend", None)
     if backend is not None:
         out += render_backend_stats(backend.stats)
+        if hasattr(backend, "injected"):
+            out += render_fault_stats(backend)
+    if controller.resilience is not None:
+        out += render_resilience(controller)
     return out
 
 
@@ -125,4 +167,15 @@ def render_node_manager(manager: "NodeManager") -> str:
         lines.append(
             _line("vfreq_nodes_iteration_seconds", getattr(timings, stage), stage=stage)
         )
+    lines += [
+        "# HELP vfreq_node_tick_errors_total Ticks that raised, per node.",
+        "# TYPE vfreq_node_tick_errors_total counter",
+    ]
+    for node_id, count in sorted(manager.error_counts.items()):
+        lines.append(_line("vfreq_node_tick_errors_total", count, node=node_id))
+    lines += [
+        "# HELP vfreq_nodes_failed_last_tick Nodes whose latest tick raised.",
+        "# TYPE vfreq_nodes_failed_last_tick gauge",
+        _line("vfreq_nodes_failed_last_tick", len(manager.last_errors)),
+    ]
     return "\n".join(lines) + "\n" + render_backend_stats(manager.backend_stats())

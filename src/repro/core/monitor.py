@@ -43,6 +43,7 @@ class Monitor:
         *,
         machine_slice: str = DEFAULT_MACHINE_SLICE,
         period_s: float = 1.0,
+        stale_max_age: int = 0,
     ) -> None:
         if isinstance(fs, HostBackend):
             self.backend = fs
@@ -51,6 +52,14 @@ class Monitor:
                 fs, procfs, sysfs, machine_slice=machine_slice
             )
         self.period_s = period_s
+        #: Ticks a known vCPU may miss a scan and still be served from
+        #: the carry-forward cache (0 = off, the seed behaviour).
+        self.stale_max_age = stale_max_age
+        self._last_seen: Dict[str, VCpuSample] = {}
+        self._missing_age: Dict[str, int] = {}
+        #: Samples served stale in the latest pass / cumulatively.
+        self.last_carried = 0
+        self.stale_carried = 0
 
     # Legacy attribute views (the raw handles now live on the backend).
 
@@ -81,9 +90,53 @@ class Monitor:
         VM teardown races with the walk on a real host; such vCPUs are
         silently skipped, exactly as a production monitor must (see
         :meth:`HostBackend.read_vcpu_samples`).
+
+        With ``stale_max_age > 0`` a vCPU that was observed before but
+        is missing from this pass (transient read error, tid churn) is
+        *carried forward*: its last sample is appended again, for up to
+        ``stale_max_age`` consecutive ticks.  Beyond that age the vCPU
+        goes unreported and :meth:`missing_ages` keeps counting — the
+        controller's degraded-mode policy takes over from there.
         """
-        return self.backend.read_vcpu_samples(self.period_s)
+        fresh = self.backend.read_vcpu_samples(self.period_s)
+        if self.stale_max_age <= 0:
+            return fresh
+        out = list(fresh)
+        seen = {s.cgroup_path for s in fresh}
+        self.last_carried = 0
+        for path in list(self._last_seen):
+            if path in seen:
+                self._missing_age.pop(path, None)
+                continue
+            age = self._missing_age.get(path, 0) + 1
+            self._missing_age[path] = age
+            if age <= self.stale_max_age:
+                out.append(self._last_seen[path])
+                self.last_carried += 1
+                self.stale_carried += 1
+        for s in fresh:
+            self._last_seen[s.cgroup_path] = s
+        return out
+
+    def missing_ages(self) -> Dict[str, int]:
+        """Consecutive ticks each known vCPU has gone unobserved.
+
+        Only meaningful with ``stale_max_age > 0``; paths currently
+        observed are absent (age 0).
+        """
+        return dict(self._missing_age)
 
     def forget(self, vcpu_path: str) -> None:
         """Drop state for a destroyed vCPU cgroup."""
         self.backend.forget_usage(vcpu_path)
+        self._last_seen.pop(vcpu_path, None)
+        self._missing_age.pop(vcpu_path, None)
+
+    def reset(self) -> None:
+        """Clear all monitoring state (snapshot restore onto a used
+        instance); the backend usage baselines are cleared too."""
+        self.backend._prev_usage.clear()
+        self.backend.invalidate()
+        self._last_seen.clear()
+        self._missing_age.clear()
+        self.last_carried = 0

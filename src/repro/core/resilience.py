@@ -1,0 +1,109 @@
+"""Degraded-mode resilience policies for the controller loop.
+
+The paper's controller sits in a 1 s feedback loop over live kernel
+interfaces that fail routinely in production: vCPU threads vanish
+mid-scan, cgroup writes return EIO/EBUSY, counters freeze, and the
+controller process itself restarts.  Makridis et al. ("Robust Dynamic
+CPU Resource Provisioning in Virtualized Servers") argue an allocation
+controller must stay stable under noisy and missing measurements; this
+module is the knob set that buys that stability:
+
+* **bounded retry-with-backoff** for ``cpu.max`` writes that fail with
+  a transient error (EIO/EBUSY) — the backend reports per-path write
+  failures instead of aborting the batch, and the controller retries
+  the failed subset up to ``write_retries`` times;
+* **stale-sample tolerance** in the monitor — a vCPU missing from one
+  scan is carried forward (its last sample is repeated) for up to
+  ``stale_sample_max_age`` ticks instead of silently disappearing from
+  stages 2-6;
+* **degraded mode** — a vCPU unobservable for ``degraded_after_ticks``
+  consecutive ticks stops being estimated and falls back to a safe cap:
+  its Eq. 2 guarantee (``degraded_action="guarantee"``) or the last cap
+  in force (``"hold"``).  Recovery is automatic the moment the vCPU is
+  observed again, and the recovery latency is recorded.
+
+The policy is pure configuration (a frozen dataclass, routable through
+:meth:`~repro.core.config.ControllerConfig.with_overrides`); the
+mutable tracking lives in :class:`ResilienceStats` on the controller.
+``None``/disabled keeps the seed behaviour bit-identical: faults raise
+out of ``tick()`` or are silently swallowed, exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """All knobs of the controller's degraded-mode defenses."""
+
+    #: Retries of a failed ``cpu.max`` write batch (0 = no retry).
+    write_retries: int = 2
+    #: Simulated backoff between write retries, seconds per attempt.
+    write_backoff_s: float = 0.0
+    #: Carry a missing vCPU's last sample forward for up to this many
+    #: ticks before it counts as unobservable (0 = no carry-forward).
+    stale_sample_max_age: int = 2
+    #: Consecutive unobserved ticks after which a vCPU enters degraded
+    #: mode and falls back to a safe cap.
+    degraded_after_ticks: int = 3
+    #: Degraded fallback: ``"guarantee"`` caps at the Eq. 2 guarantee
+    #: ``C_i``; ``"hold"`` keeps the last cap in force.
+    degraded_action: str = "guarantee"
+
+    def __post_init__(self) -> None:
+        if self.write_retries < 0:
+            raise ValueError("write_retries must be >= 0")
+        if self.write_backoff_s < 0:
+            raise ValueError("write_backoff_s must be >= 0")
+        if self.stale_sample_max_age < 0:
+            raise ValueError("stale_sample_max_age must be >= 0")
+        if self.degraded_after_ticks < 1:
+            raise ValueError("degraded_after_ticks must be >= 1")
+        if self.degraded_action not in ("guarantee", "hold"):
+            raise ValueError(
+                f"degraded_action must be 'guarantee' or 'hold', "
+                f"got {self.degraded_action!r}"
+            )
+
+
+@dataclass
+class ResilienceStats:
+    """Cumulative counters of faults survived by one controller.
+
+    Every event class is a counter so the Prometheus export can graph
+    the fault pressure a node is under; ``degraded_vcpu_ticks`` is the
+    guarantee-violation exposure the fault-resilience bench bounds.
+    """
+
+    #: Whole monitoring passes that returned nothing due to an error.
+    monitor_failures: int = 0
+    #: Samples served from the carry-forward cache (stale tolerance).
+    stale_samples_used: int = 0
+    #: Individual ``cpu.max`` write attempts re-issued after a failure.
+    write_retries: int = 0
+    #: Writes still failing after the retry budget was exhausted.
+    write_failures: int = 0
+    #: vCPUs that crossed into degraded mode.
+    degraded_transitions: int = 0
+    #: Degraded vCPUs re-observed and returned to normal control.
+    recoveries: int = 0
+    #: Total vCPU-ticks spent in degraded mode.
+    degraded_vcpu_ticks: int = 0
+    #: Ticks from degradation to recovery for the latest recovery.
+    last_recovery_ticks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class DegradedVcpu:
+    """Tracking record for one vCPU currently in degraded mode."""
+
+    cgroup_path: str
+    vm_name: str
+    since_tick: int
+    fallback_cycles: float = 0.0

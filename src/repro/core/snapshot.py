@@ -40,11 +40,11 @@ def to_json(controller: VirtualFrequencyController) -> str:
     return json.dumps(snapshot(controller), sort_keys=True)
 
 
-def restore(controller: VirtualFrequencyController, state: Dict) -> None:
-    """Load a snapshot into a (typically fresh) controller instance.
+def validate(controller: VirtualFrequencyController, state: Dict) -> None:
+    """Reject a malformed snapshot *before* any controller state moves.
 
-    The controller's configuration is *not* part of the snapshot — the
-    operator may restart with new knobs; only dynamic state is restored.
+    Restore used to mutate first and raise halfway through, leaving the
+    target corrupted; every invariant is now checked up front.
     """
     version = state.get("version")
     if version != SNAPSHOT_VERSION:
@@ -52,12 +52,45 @@ def restore(controller: VirtualFrequencyController, state: Dict) -> None:
             f"unsupported snapshot version {version!r} "
             f"(expected {SNAPSHOT_VERSION})"
         )
+    missing = {
+        "vm_vfreq", "wallets", "current_caps", "histories", "prev_usage"
+    } - set(state)
+    if missing:
+        raise ValueError(
+            f"corrupt snapshot: missing field(s) {', '.join(sorted(missing))}"
+        )
     for vm_name, vfreq in state["vm_vfreq"].items():
-        controller.register_vm(vm_name, float(vfreq))
+        if float(vfreq) <= 0:
+            raise ValueError(f"corrupt snapshot: bad vfreq for {vm_name}")
+        if float(vfreq) > controller.fmax_mhz:
+            raise ValueError(
+                f"corrupt snapshot: {vm_name} guarantee {vfreq} MHz exceeds "
+                f"host F_MAX {controller.fmax_mhz} MHz"
+            )
     for vm_name, balance in state["wallets"].items():
         if balance < 0:
             raise ValueError(f"corrupt snapshot: negative wallet for {vm_name}")
-        controller.ledger._wallets[vm_name] = float(balance)
+    for path, cap in state["current_caps"].items():
+        if float(cap) < 0:
+            raise ValueError(f"corrupt snapshot: negative cap for {path}")
+
+
+def restore(controller: VirtualFrequencyController, state: Dict) -> None:
+    """Load a snapshot into a controller instance, fresh or not.
+
+    The snapshot is validated first, then the controller is
+    :meth:`~repro.core.controller.VirtualFrequencyController.reset` so
+    restoring onto a non-fresh instance cannot double-register VMs or
+    replay histories on top of live ones.  The controller's
+    configuration is *not* part of the snapshot — the operator may
+    restart with new knobs; only dynamic state is restored.
+    """
+    validate(controller, state)
+    controller.reset()
+    for vm_name, vfreq in state["vm_vfreq"].items():
+        controller.register_vm(vm_name, float(vfreq))
+    for vm_name, balance in state["wallets"].items():
+        controller.ledger.set_balance(vm_name, float(balance))
     controller._current_cap.update(
         {path: float(c) for path, c in state["current_caps"].items()}
     )

@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the controller's kernel seam.
+
+See :mod:`repro.faults.plan` for the fault taxonomy and plan format,
+and :mod:`repro.faults.injector` for the backend-level injector.  The
+defensive counterpart lives in :mod:`repro.core.resilience` — core
+never imports this package.
+"""
+
+from repro.faults.injector import ControllerCrash, FaultInjector
+from repro.faults.plan import ERRNO_BY_NAME, FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "ControllerCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "ERRNO_BY_NAME",
+]

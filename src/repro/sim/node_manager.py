@@ -31,6 +31,20 @@ from repro.core.backend import BackendStats
 from repro.core.controller import ControllerReport, StageTimings
 
 
+class TickResult(Dict[str, ControllerReport]):
+    """Per-node reports of one control-plane tick, plus failures.
+
+    Behaves exactly like the plain dict :meth:`NodeManager.tick` used
+    to return (existing callers index and iterate it unchanged);
+    :attr:`errors` carries the exception of every node whose tick
+    raised this round, keyed by node id.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.errors: Dict[str, BaseException] = {}
+
+
 class NodeManager:
     """Runs N per-node controllers as one control plane.
 
@@ -50,6 +64,11 @@ class NodeManager:
         self.parallel = parallel
         self.max_workers = max_workers
         self.last_reports: Dict[str, ControllerReport] = {}
+        #: Exceptions of the latest tick, keyed by node id (reset each
+        #: tick) — a failed node never aborts the barrier.
+        self.last_errors: Dict[str, BaseException] = {}
+        #: Cumulative failed-tick count per node id.
+        self.error_counts: Dict[str, int] = {}
         self.ticks = 0
         self._executor: Optional[ThreadPoolExecutor] = None
 
@@ -63,7 +82,21 @@ class NodeManager:
     def remove_node(self, node_id: str) -> Controller:
         controller = self.controllers.pop(node_id)
         self.last_reports.pop(node_id, None)
+        self.last_errors.pop(node_id, None)
         return controller
+
+    def replace_node(self, node_id: str, controller: Controller) -> Controller:
+        """Swap in a fresh controller for a node (crash recovery).
+
+        The old controller is returned; error history for the node is
+        kept — the replacement is the *recovery*, not amnesia.
+        """
+        if node_id not in self.controllers:
+            raise KeyError(f"node not managed: {node_id}")
+        old = self.controllers[node_id]
+        self.controllers[node_id] = controller
+        self.last_errors.pop(node_id, None)
+        return old
 
     @property
     def num_nodes(self) -> int:
@@ -80,30 +113,50 @@ class NodeManager:
 
     # -- the control plane tick -------------------------------------------------
 
-    def tick(
-        self, t: float, node_ids: Optional[List[str]] = None
-    ) -> Dict[str, ControllerReport]:
+    def tick(self, t: float, node_ids: Optional[List[str]] = None) -> TickResult:
         """One iteration on every (selected) node; barrier semantics.
 
-        Returns the per-node reports, also kept in :attr:`last_reports`.
-        Reports are independent of execution order because controllers
-        share no state — verified by the node-manager integration tests.
+        Returns the per-node reports (a :class:`TickResult` — a dict,
+        as before), also kept in :attr:`last_reports`.  Reports are
+        independent of execution order because controllers share no
+        state — verified by the node-manager integration tests.
+
+        Faults are isolated per node: a controller whose tick raises
+        (crashed process, dead kernel surface) is recorded in
+        ``result.errors`` / :attr:`last_errors` and every other node
+        still completes its iteration on time.  The failed controller
+        stays registered so the operator can ``replace_node`` it after
+        a snapshot restore.
         """
         ids = list(self.controllers) if node_ids is None else list(node_ids)
-        reports: Dict[str, ControllerReport] = {}
+        result = TickResult()
+        self.last_errors = {}
         if self.parallel and len(ids) > 1:
             futures = {
                 node_id: self._pool().submit(self.controllers[node_id].tick, t)
                 for node_id in ids
             }
             for node_id, future in futures.items():
-                reports[node_id] = future.result()
+                try:
+                    result[node_id] = future.result()
+                except Exception as exc:
+                    self._record_error(node_id, exc, result)
         else:
             for node_id in ids:
-                reports[node_id] = self.controllers[node_id].tick(t)
-        self.last_reports.update(reports)
+                try:
+                    result[node_id] = self.controllers[node_id].tick(t)
+                except Exception as exc:
+                    self._record_error(node_id, exc, result)
+        self.last_reports.update(result)
         self.ticks += 1
-        return reports
+        return result
+
+    def _record_error(
+        self, node_id: str, exc: Exception, result: TickResult
+    ) -> None:
+        result.errors[node_id] = exc
+        self.last_errors[node_id] = exc
+        self.error_counts[node_id] = self.error_counts.get(node_id, 0) + 1
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:

@@ -20,6 +20,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])
 
+    def test_fault_and_snapshot_flags_round_trip(self):
+        from repro.cli import _config_overrides
+        from repro.core.resilience import ResiliencePolicy
+
+        args = build_parser().parse_args([
+            "eval1", "--fault-plan", "plan.json",
+            "--snapshot-path", "ctrl.json", "--snapshot-every", "5",
+        ])
+        overrides = _config_overrides(args)
+        assert overrides["fault_plan_path"] == "plan.json"
+        assert overrides["snapshot_path"] == "ctrl.json"
+        assert overrides["snapshot_every_ticks"] == 5
+        # --fault-plan implies the resilience policy
+        assert isinstance(overrides["resilience"], ResiliencePolicy)
+
+    def test_resilience_flag_alone(self):
+        from repro.cli import _config_overrides
+        from repro.core.resilience import ResiliencePolicy
+
+        args = build_parser().parse_args(["eval2", "--resilience"])
+        overrides = _config_overrides(args)
+        assert isinstance(overrides["resilience"], ResiliencePolicy)
+        assert "fault_plan_path" not in overrides
+
+    def test_flags_route_into_config(self):
+        from repro.cli import _config_overrides
+        from repro.core.config import ControllerConfig
+
+        args = build_parser().parse_args([
+            "eval1", "--fault-plan", "p.json", "--snapshot-every", "2",
+        ])
+        cfg = ControllerConfig.paper_evaluation().with_overrides(
+            **_config_overrides(args)
+        )
+        assert cfg.fault_plan_path == "p.json"
+        assert cfg.snapshot_every_ticks == 2
+        with pytest.raises(ValueError):
+            ControllerConfig.paper_evaluation(snapshot_every_ticks=0)
+
 
 class TestCommands:
     def test_eval1_quick(self, capsys):

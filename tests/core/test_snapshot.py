@@ -97,6 +97,101 @@ class TestSnapshot:
         with pytest.raises(ValueError):
             restore(fresh, state)
 
+    def test_restore_onto_nonfresh_controller_is_safe(self):
+        """Restoring onto a controller that has already run must not
+        double-register VMs or replay histories on top of live ones."""
+        node, hv, ctrl, sim = warmed_host()
+        state = snapshot(ctrl)
+        sim.run(5.0)  # controller keeps running past the snapshot
+        restore(ctrl, state)
+        assert ctrl.ledger.wallets() == state["wallets"]
+        assert ctrl._vm_vfreq == state["vm_vfreq"]
+        assert ctrl._current_cap == {
+            p: float(c) for p, c in state["current_caps"].items()
+        }
+        for path, history in state["histories"].items():
+            assert ctrl.estimator.history(path).tolist() == [
+                float(v) for v in history
+            ]
+        # and the loop keeps working
+        sim.run(2.0)
+        assert ctrl.reports[-1].samples
+
+    def test_failed_validation_leaves_target_untouched(self):
+        """A corrupt snapshot must be rejected *before* any state moves
+        (the old restore mutated first and raised halfway through)."""
+        node, hv, ctrl, _ = warmed_host()
+        state = snapshot(ctrl)
+        state["wallets"]["frugal"] = -5.0
+        wallets_before = ctrl.ledger.wallets()
+        caps_before = dict(ctrl._current_cap)
+        with pytest.raises(ValueError):
+            restore(ctrl, state)
+        assert ctrl.ledger.wallets() == wallets_before
+        assert ctrl._current_cap == caps_before
+
+    def test_missing_field_rejected(self):
+        node, hv, ctrl, _ = warmed_host()
+        state = snapshot(ctrl)
+        del state["wallets"]
+        with pytest.raises(ValueError, match="missing field"):
+            restore(ctrl, state)
+
+    def test_excessive_vfreq_rejected(self):
+        node, hv, ctrl, _ = warmed_host()
+        state = snapshot(ctrl)
+        state["vm_vfreq"]["busy"] = 99_999.0
+        with pytest.raises(ValueError, match="exceeds"):
+            restore(ctrl, state)
+
+    def test_restore_respects_credit_cap(self):
+        """Wallet loads go through the public setter, which enforces the
+        same invariants as organic accrual (no reaching into _wallets)."""
+        from repro.core.config import ControllerConfig
+        from repro.core.controller import VirtualFrequencyController
+
+        node, hv, ctrl, _ = warmed_host()
+        state = snapshot(ctrl)
+        state["wallets"]["frugal"] = 1e12
+        capped = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+            config=ControllerConfig.paper_evaluation(credit_cap=1e6),
+        )
+        restore(capped, state)
+        assert capped.ledger.balance("frugal") == 1e6
+
+
+class TestPeriodicSnapshot:
+    def test_controller_snapshots_every_k_ticks_and_restores(self, tmp_path):
+        """--snapshot-path behaviour: periodic persistence plus
+        auto-restore on construction."""
+        from repro.core.config import ControllerConfig
+        from repro.core.controller import VirtualFrequencyController
+
+        snap = str(tmp_path / "ctrl.json")
+        cfg = ControllerConfig.paper_evaluation(
+            snapshot_path=snap, snapshot_every_ticks=3
+        )
+        node, hv, ctrl = make_host(config=cfg)
+        vm = hv.provision(T, "persist")
+        ctrl.register_vm("persist", T.vfreq_mhz)
+        vm.set_uniform_demand(0.7)
+        for k in range(7):
+            node.step(1.0)
+            ctrl.tick(float(k + 1))
+        import os
+
+        assert os.path.exists(snap)
+        reborn = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=node.spec.logical_cpus, fmax_mhz=node.spec.fmax_mhz,
+            config=cfg,
+        )
+        # auto-restored from the tick-6 snapshot
+        assert reborn._vm_vfreq == {"persist": T.vfreq_mhz}
+        assert reborn.ledger.wallets() == ctrl.reports[5].wallets
+
 
 class TestDynamicQoS:
     def test_set_vfreq_changes_guarantee_next_iteration(self):

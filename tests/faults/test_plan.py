@@ -1,0 +1,121 @@
+"""Tests for FaultSpec/FaultPlan: validation, windows, determinism, JSON."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor_strike")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("read_error", start_tick=5, end_tick=5)
+        with pytest.raises(ValueError):
+            FaultSpec("read_error", start_tick=-1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("read_error", probability=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec("read_error", probability=1.5)
+
+    def test_unknown_errno_rejected(self):
+        with pytest.raises(ValueError, match="unknown errno"):
+            FaultSpec("read_error", error="EWHATEVER")
+
+    def test_window_semantics(self):
+        spec = FaultSpec("read_error", start_tick=3, end_tick=5)
+        assert not spec.active_at(2)
+        assert spec.active_at(3)
+        assert spec.active_at(4)
+        assert not spec.active_at(5)  # [start, end)
+        forever = FaultSpec("read_error", start_tick=1)
+        assert forever.active_at(10_000)
+
+    def test_error_types_match_kernel_semantics(self):
+        assert isinstance(
+            FaultSpec("read_error", error="ENOENT").make_error("x"),
+            FileNotFoundError,
+        )
+        assert isinstance(
+            FaultSpec("tid_vanish", error="ESRCH").make_error("x"),
+            ProcessLookupError,
+        )
+        eio = FaultSpec("read_error", error="EIO").make_error("x")
+        assert isinstance(eio, OSError)
+        assert not isinstance(eio, FileNotFoundError)
+
+    def test_glob_matching(self):
+        spec = FaultSpec("read_error", "*/vm-1/*/cpu.stat")
+        assert spec.matches("/machine.slice/vm-1/vcpu0/cpu.stat")
+        assert not spec.matches("/machine.slice/vm-2/vcpu0/cpu.stat")
+
+
+class TestFaultPlan:
+    def test_empty_plan_draws_nothing(self):
+        plan = FaultPlan()
+        for kind in FAULT_KINDS:
+            assert plan.draw(kind, "anything", 0) is None
+
+    def test_scheduled_spec_fires_only_in_window(self):
+        plan = FaultPlan([FaultSpec("read_error", "*", start_tick=2, end_tick=4)])
+        assert plan.draw("read_error", "/p", 1) is None
+        assert plan.draw("read_error", "/p", 2) is not None
+        assert plan.draw("read_error", "/p", 4) is None
+
+    def test_same_seed_same_sequence(self):
+        def sequence(seed):
+            plan = FaultPlan(
+                [FaultSpec("write_error", probability=0.5)], seed=seed
+            )
+            return [
+                plan.draw("write_error", "/p", t) is not None for t in range(200)
+            ]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultSpec("write_error", probability=0.5)], seed=3)
+        first = [plan.draw("write_error", "/p", t) is not None for t in range(100)]
+        plan.reset()
+        again = [plan.draw("write_error", "/p", t) is not None for t in range(100)]
+        assert first == again
+
+    def test_probability_one_consumes_no_rng(self):
+        """Deterministic specs must not perturb the draw stream of
+        probabilistic ones."""
+        base = FaultPlan([FaultSpec("write_error", probability=0.5)], seed=3)
+        mixed = FaultPlan(
+            [
+                FaultSpec("read_error", probability=1.0),
+                FaultSpec("write_error", probability=0.5),
+            ],
+            seed=3,
+        )
+        seq = []
+        seq_mixed = []
+        for t in range(100):
+            seq.append(base.draw("write_error", "/p", t) is not None)
+            mixed.draw("read_error", "/p", t)
+            seq_mixed.append(mixed.draw("write_error", "/p", t) is not None)
+        assert seq == seq_mixed
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan.standard_mix(seed=11, crash_tick=9)
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.seed == plan.seed
+        assert [s.as_dict() for s in loaded.specs] == [
+            s.as_dict() for s in plan.specs
+        ]
+
+    def test_standard_mix_covers_the_taxonomy(self):
+        plan = FaultPlan.standard_mix(crash_tick=5)
+        kinds = {s.kind for s in plan.specs}
+        assert {"read_error", "write_error", "freeze", "clock_jitter",
+                "tid_vanish", "crash"} <= kinds

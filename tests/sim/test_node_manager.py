@@ -141,3 +141,91 @@ class TestAggregates:
             _drive(hosts, manager, ticks=1)
             assert manager._executor is not None
         assert manager._executor is None
+
+
+class TestFaultIsolation:
+    """A failing node must never abort the control-plane barrier."""
+
+    class _Crashy:
+        """Minimal Controller whose tick dies on selected calls."""
+
+        period_s = 1.0
+
+        def __init__(self, fail_ticks=()):
+            self.fail_ticks = set(fail_ticks)
+            self.calls = 0
+
+        def register_vm(self, vm_name, vfreq_mhz):
+            pass
+
+        def unregister_vm(self, vm_name):
+            pass
+
+        def tick(self, t):
+            self.calls += 1
+            if self.calls in self.fail_ticks:
+                raise RuntimeError(f"injected death at call {self.calls}")
+            from repro.core.controller import ControllerReport
+
+            return ControllerReport(t=t)
+
+    @pytest.mark.parametrize("parallel", [False, True], ids=["serial", "pool"])
+    def test_one_dead_node_does_not_stop_the_others(self, parallel):
+        hosts = _two_node_setup()
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()},
+            parallel=parallel,
+        )
+        manager.add_node("node-bad", self._Crashy(fail_ticks={2}))
+        for k in range(4):
+            for node, _, _ in hosts.values():
+                node.step(1.0)
+            result = manager.tick(float(k + 1))
+            # both healthy nodes reported every single tick
+            assert {"node-a", "node-b"} <= set(result)
+            if k == 1:
+                assert set(result.errors) == {"node-bad"}
+                assert "injected death" in str(result.errors["node-bad"])
+                assert "node-bad" not in result
+            else:
+                assert result.errors == {}
+        assert manager.error_counts == {"node-bad": 1}
+        assert manager.last_errors == {}
+        manager.close()
+
+    def test_tick_result_is_a_dict(self):
+        """Existing callers treat the return as Dict[str, report]."""
+        hosts = _two_node_setup()
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=False
+        )
+        result = _drive(hosts, manager, ticks=1)
+        assert isinstance(result, dict)
+        assert set(result) == {"node-a", "node-b"}
+        assert result.errors == {}
+
+    def test_replace_node_after_crash(self):
+        manager = NodeManager(
+            {"node-x": self._Crashy(fail_ticks={1, 2, 3, 4})}, parallel=False
+        )
+        manager.tick(1.0)
+        assert manager.error_counts["node-x"] == 1
+        fresh = self._Crashy()
+        old = manager.replace_node("node-x", fresh)
+        assert old.calls == 1
+        result = manager.tick(2.0)
+        assert result.errors == {}
+        assert "node-x" in result
+        with pytest.raises(KeyError):
+            manager.replace_node("ghost", fresh)
+
+    def test_errors_surface_in_prometheus_export(self):
+        from repro.core.metrics_export import render_node_manager
+
+        manager = NodeManager(
+            {"node-x": self._Crashy(fail_ticks={1})}, parallel=False
+        )
+        manager.tick(1.0)
+        text = render_node_manager(manager)
+        assert 'vfreq_node_tick_errors_total{node="node-x"} 1' in text
+        assert "vfreq_nodes_failed_last_tick 1" in text

@@ -132,3 +132,29 @@ class TestShortRun:
             assert set(res.vm_names_by_group) == {"small", "large"}
             series = res.group_freq_series("small")
             assert len(series) > 0
+
+
+class TestFaultPlanWiring:
+    def test_fault_plan_path_wraps_backend_in_injector(self, tmp_path):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        plan_file = str(tmp_path / "plan.json")
+        FaultPlan(
+            [FaultSpec("clock_jitter", "tick", jitter_frac=0.05)], seed=3
+        ).save(plan_file)
+        sc = eval1_chetemi(duration=4.0, dt=0.5)
+        sc.controller_config = sc.controller_config.with_overrides(
+            fault_plan_path=plan_file
+        )
+        sim = sc.build(controlled=True)
+        assert isinstance(sim.controller.backend, FaultInjector)
+        sim.run(3.0)
+        assert sim.controller.backend.injected.get("clock_jitter", 0) > 0
+
+    def test_without_fault_plan_backend_is_bare(self):
+        from repro.core.backend import HostBackend
+        from repro.faults import FaultInjector
+
+        sim = eval1_chetemi(duration=4.0, dt=0.5).build(controlled=True)
+        assert isinstance(sim.controller.backend, HostBackend)
+        assert not isinstance(sim.controller.backend, FaultInjector)
