@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-faults-smoke examples figures clean
+.PHONY: install test bench bench-smoke bench-faults-smoke bench-perf-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -24,6 +24,14 @@ bench-smoke:
 # period, and occluded vCPUs hold their Eq. 2 guarantee)
 bench-faults-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fault_resilience.py --benchmark-only -q
+
+# quick scalar-vs-vectorised engine A/B (CI gate: the report streams
+# must stay bit-identical and the vectorised per-tick cost may not
+# regress >25% against the committed BENCH_controller.json baseline;
+# override the tolerance with PERF_TOLERANCE=0.40 etc.)
+bench-perf-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_scaling.py -k engine_speedup --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
 
 # the printed tables + CSVs for every paper figure/table
 figures: bench

@@ -1,0 +1,80 @@
+"""Fail if the controller tick got slower than the committed baseline.
+
+Compares the fresh ``benchmarks/results/BENCH_controller.json`` (written
+by the engine-comparison bench) against the repo-root
+``BENCH_controller.json`` baseline that ships with the tree.  For every
+section present in both files ("smoke" from the CI gate, "full" from a
+developer refresh) the vectorised per-tick costs may not exceed the
+baseline by more than the tolerance (default 25%, override with the
+``PERF_TOLERANCE`` env var, e.g. ``PERF_TOLERANCE=0.40``).
+
+Absolute timings wobble across machines; the committed baseline is
+refreshed together with any intentional perf change (see
+docs/performance.md), so the diff only has to catch order-of-magnitude
+slips like an accidental fall back to the scalar path.
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_controller.json"
+FRESH = REPO_ROOT / "benchmarks" / "results" / "BENCH_controller.json"
+
+#: metrics compared per section, all "lower is better" seconds/tick
+METRICS = ("total_seconds_per_tick", "stage2_5_seconds_per_tick")
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("PERF_TOLERANCE", "0.25"))
+    if not BASELINE.exists():
+        print(f"perf check: no baseline at {BASELINE}", file=sys.stderr)
+        return 1
+    if not FRESH.exists():
+        print(
+            f"perf check: no fresh results at {FRESH} "
+            "(run the engine bench first)",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+    fresh = json.loads(FRESH.read_text())
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("perf check: no section present in both files", file=sys.stderr)
+        return 1
+
+    failures = []
+    for section in shared:
+        base_vec = baseline[section]["vectorized"]
+        fresh_vec = fresh[section]["vectorized"]
+        for metric in METRICS:
+            base = base_vec[metric]
+            now = fresh_vec[metric]
+            limit = base * (1.0 + tolerance)
+            verdict = "ok" if now <= limit else "REGRESSED"
+            print(
+                f"{section:>6} {metric:<28} baseline {base * 1e3:8.3f} ms  "
+                f"now {now * 1e3:8.3f} ms  limit {limit * 1e3:8.3f} ms  "
+                f"{verdict}"
+            )
+            if now > limit:
+                failures.append((section, metric, base, now))
+
+    if failures:
+        print(
+            f"\nperf check FAILED: {len(failures)} metric(s) above "
+            f"baseline x{1.0 + tolerance:.2f} "
+            "(refresh BENCH_controller.json if the slowdown is intentional)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nperf check passed (tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

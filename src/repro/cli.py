@@ -85,6 +85,12 @@ def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--auction-priority", choices=("credits", "frequency"),
                         default=None,
                         help="auction shopping order (paper: credits)")
+    parser.add_argument("--engine", choices=("scalar", "vectorized"),
+                        default=None,
+                        help="controller hot-path implementation: the "
+                             "structure-of-arrays fast path (default) or "
+                             "the per-vCPU scalar oracle; reports are "
+                             "bit-identical either way")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="inject faults from a JSON FaultPlan file "
                              "(chaos drill; see docs/faults.md)")
@@ -107,6 +113,8 @@ def _config_overrides(args) -> dict:
         overrides["reserve_guarantee"] = True
     if args.auction_priority is not None:
         overrides["auction_priority"] = args.auction_priority
+    if args.engine is not None:
+        overrides["engine"] = args.engine
     if args.fault_plan is not None:
         overrides["fault_plan_path"] = args.fault_plan
     if args.fault_plan is not None or args.resilience:

@@ -26,6 +26,7 @@ from repro.core.enforcer import Enforcer
 from repro.core.controller import VirtualFrequencyController, ControllerReport
 from repro.core.resilience import DegradedVcpu, ResiliencePolicy, ResilienceStats
 from repro.core.snapshot import snapshot, restore, to_json, from_json
+from repro.core.soa import VcpuTable, TickView
 from repro.core.metrics_export import (
     render_backend_stats,
     render_controller,
@@ -33,6 +34,7 @@ from repro.core.metrics_export import (
     render_node_manager,
     render_report,
     render_resilience,
+    render_stage_seconds,
 )
 
 __all__ = [
@@ -64,6 +66,9 @@ __all__ = [
     "restore",
     "to_json",
     "from_json",
+    "VcpuTable",
+    "TickView",
+    "render_stage_seconds",
     "render_backend_stats",
     "render_controller",
     "render_fault_stats",

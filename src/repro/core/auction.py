@@ -7,12 +7,25 @@ round, paid 1:1 from the VM's credit wallet.  The window prevents a rich
 VM from draining the market; rounds iterate over VMs in descending
 wallet order (priority to frugal VMs) until the market is empty, every
 buyer is satisfied, or no remaining buyer can pay.
+
+Implementation: an incremental heap instead of a per-round re-sort.
+The naive Algorithm 1 sorts every VM each round and rebuilds the sort
+key closure, costing ``O(rounds * V log V)`` on a dense host where the
+window makes rounds numerous by design.  Here the shopping order is a
+single heap built once per auction, keyed on
+``(round, -priority, -wallet, vm)``; a VM that buys is lazily
+re-inserted for the next round with its post-purchase wallet — which is
+exactly the balance the old per-round sort would have observed at that
+round's start, so the purchase sequence (and therefore every outcome
+field, including ``rounds``) is bit-identical to the round-based
+original at ``O(purchases * log V)``.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 from repro.core.credits import CreditLedger
 
@@ -66,49 +79,86 @@ def run_auction(
         raise ValueError("window must be positive")
 
     outcome = AuctionOutcome(market_left=market)
-    # Residual demand grouped by VM, preserving per-vCPU detail.
-    residual: Dict[str, float] = {
-        path: need for path, need in demands.items() if need > 1e-9
-    }
-    if not residual or market <= 0:
+    if market <= 0:
         return outcome
-
+    # Residual demand grouped by VM, preserving per-vCPU detail.  Paths
+    # of VMs that cannot pay at all are dropped here: their wallet only
+    # shrinks during an auction, so they could never buy — admitting
+    # them would just burn a heap pop per broke VM.
+    balances: Dict[str, float] = {}
+    residual: Dict[str, float] = {}
     by_vm: Dict[str, List[str]] = {}
-    for path in residual:
-        by_vm.setdefault(vm_of[path], []).append(path)
+    any_demand = False
+    for path, need in demands.items():
+        if need <= 1e-9:
+            continue
+        any_demand = True
+        vm = vm_of[path]
+        balance = balances.get(vm)
+        if balance is None:
+            balance = balances[vm] = ledger.balance(vm)
+        if balance <= 1e-9:
+            continue
+        residual[path] = need
+        by_vm.setdefault(vm, []).append(path)
+    if not by_vm:
+        # With demand but no funded buyer the round-based loop would
+        # still have entered one round before noticing nobody can pay.
+        outcome.rounds = 1 if any_demand else 0
+        return outcome
+    # A VM's purchase is spread over its vCPUs greedily in list order;
+    # sort once so the outcome does not depend on the monitor's dict
+    # insertion order (stable under sample reordering).
+    for paths in by_vm.values():
+        paths.sort()
 
-    while outcome.market_left > 1e-9:
-        # Descending wallet order each round: frugal VMs shop first.
-        # With explicit priorities, those dominate and wallets break ties.
-        def _key(kv: Tuple[float, str]):
-            balance, vm = kv
-            if priorities is None:
-                return (-balance, vm)
-            return (-priorities.get(vm, 0.0), -balance, vm)
+    def entry(round_no: int, vm: str, balance: float):
+        # heapq pops the smallest tuple: earliest round first, then the
+        # descending (priority, wallet) order of the per-round sort, VM
+        # name as the total-order tie break.
+        if priorities is None:
+            return (round_no, -balance, vm)
+        return (round_no, -priorities.get(vm, 0.0), -balance, vm)
 
-        order: List[Tuple[float, str]] = sorted(
-            ((ledger.balance(vm), vm) for vm in by_vm), key=_key
-        )
-        progress = False
-        for balance, vm in order:
-            if balance <= 1e-9:
-                continue
-            vm_need = sum(residual[p] for p in by_vm[vm])
-            if vm_need <= 1e-9:
-                continue
-            buy = min(window, vm_need, balance, outcome.market_left)
-            if buy <= 1e-9:
-                continue
-            _allocate_to_vcpus(by_vm[vm], residual, buy, outcome.purchased)
-            ledger.spend(vm, buy)
-            outcome.spent_per_vm[vm] = outcome.spent_per_vm.get(vm, 0.0) + buy
-            outcome.market_left -= buy
-            progress = True
-            if outcome.market_left <= 1e-9:
-                break
-        outcome.rounds += 1
-        if not progress:
-            break  # nobody could buy: rich VMs satisfied, poor VMs broke
+    heap = [entry(1, vm, balances[vm]) for vm in by_vm]
+    heapq.heapify(heap)
+
+    rounds_entered = 0
+    progress_in_round = False
+    while heap and outcome.market_left > 1e-9:
+        item = heapq.heappop(heap)
+        round_no, vm = item[0], item[-1]
+        if round_no > rounds_entered:
+            rounds_entered = round_no
+            progress_in_round = False
+        balance = ledger.balance(vm)
+        if balance <= 1e-9:
+            continue
+        vm_need = sum(residual[p] for p in by_vm[vm])
+        if vm_need <= 1e-9:
+            continue
+        buy = min(window, vm_need, balance, outcome.market_left)
+        if buy <= 1e-9:
+            continue
+        _allocate_to_vcpus(by_vm[vm], residual, buy, outcome.purchased)
+        ledger.spend(vm, buy)
+        outcome.spent_per_vm[vm] = outcome.spent_per_vm.get(vm, 0.0) + buy
+        outcome.market_left -= buy
+        progress_in_round = True
+        new_balance = ledger.balance(vm)
+        # Re-enter the next round under the same conditions the per-round
+        # original would re-admit this VM (need recomputed from the
+        # residual map, not decremented — the rounding can differ).
+        new_need = sum(residual[p] for p in by_vm[vm])
+        if new_balance > 1e-9 and new_need > 1e-9:
+            heapq.heappush(heap, entry(round_no + 1, vm, new_balance))
+    # Round accounting matches the per-round original: when the heap
+    # drains with market left, the old loop would still have entered one
+    # more (empty) round before noticing nobody can buy — unless the
+    # last entered round was already progress-free.
+    if outcome.market_left > 1e-9 and progress_in_round:
+        rounds_entered += 1
+    outcome.rounds = rounds_entered
     return outcome
 
 

@@ -48,6 +48,11 @@ class ControllerConfig:
     enforcement_period_us: int = 100_000
     #: Disable stages 3-6 (configuration "A" runs monitoring only).
     control_enabled: bool = True
+    #: Controller hot-path implementation: ``"vectorized"`` runs stages
+    #: 2-5 on the structure-of-arrays fast path (:mod:`repro.core.soa`);
+    #: ``"scalar"`` keeps the per-vCPU dict/object loops as the
+    #: bit-identical oracle.  Same reports either way, different speed.
+    engine: str = "vectorized"
     #: Use the paper-literal Eq. 3 (with S_n = n(n+1)/2) instead of the
     #: standard least-squares slope; kept for comparison, same sign.
     literal_trend: bool = False
@@ -98,6 +103,10 @@ class ControllerConfig:
             raise ValueError("min_cap_frac must be in (0, 1]")
         if self.enforcement_period_us <= 0:
             raise ValueError("enforcement_period_us must be positive")
+        if self.engine not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
         if self.auction_priority not in ("credits", "frequency"):
             raise ValueError(
                 f"auction_priority must be 'credits' or 'frequency', "

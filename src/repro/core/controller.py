@@ -32,8 +32,17 @@ from repro.core.distribute import distribute_leftovers
 from repro.core.enforcer import Enforcer
 from repro.core.estimator import EstimatorDecision, TrendEstimator
 from repro.core.monitor import Monitor, VCpuSample
-from repro.core.resilience import DegradedVcpu, ResiliencePolicy, ResilienceStats
+from repro.core.resilience import (
+    DegradedVcpu,
+    ResiliencePolicy,
+    ResilienceStats,
+    fallback_caps,
+)
+from repro.core.soa import VcpuTable, build_decisions, decide_batch, seqsum
 from repro.core.units import cycles_per_period, guaranteed_cycles, period_us
+from repro.sched.fairshare import proportional_share
+
+import numpy as np
 
 
 @dataclass
@@ -133,6 +142,17 @@ class VirtualFrequencyController:
         self.ledger = CreditLedger(self.config)
         self.enforcer = Enforcer(backend, self.config)
         self._vm_vfreq: Dict[str, float] = {}
+        #: Eq. 2 guarantees cached per VM at registration — the formula
+        #: is pure in ``period_s * vfreq / fmax``, all fixed between
+        #: (re-)registrations, so stage 3 never recomputes it per sample.
+        self._guarantee: Dict[str, float] = {}
+        #: Structure-of-arrays state for the vectorized engine (None on
+        #: the scalar oracle path).
+        self._table: Optional[VcpuTable] = (
+            VcpuTable(self.config.history_len)
+            if self.config.engine == "vectorized"
+            else None
+        )
         self._current_cap: Dict[str, float] = {}
         self._degraded: Dict[str, DegradedVcpu] = {}
         self._tick_count = 0
@@ -163,6 +183,12 @@ class VirtualFrequencyController:
                 f"guarantee {vfreq_mhz} MHz exceeds host F_MAX {self.fmax_mhz} MHz"
             )
         self._vm_vfreq[vm_name] = vfreq_mhz
+        self._guarantee[vm_name] = guaranteed_cycles(
+            self.config.period_s, vfreq_mhz, self.fmax_mhz
+        )
+        if self._table is not None:
+            # A re-registration (set_vfreq) must refresh live slots too.
+            self._table.set_vm_guarantee(vm_name, self._guarantee[vm_name])
         # VM churn invalidates the backend's cached cgroup topology.
         self.backend.invalidate()
 
@@ -179,6 +205,9 @@ class VirtualFrequencyController:
 
     def unregister_vm(self, vm_name: str) -> None:
         self._vm_vfreq.pop(vm_name, None)
+        self._guarantee.pop(vm_name, None)
+        if self._table is not None:
+            self._table.release_vm(vm_name)
         self.ledger.forget(vm_name)
         # Match on the parsed VM path component, not a substring — a
         # substring test would let "vm-1" also claim "foo/vm-1/..."
@@ -210,6 +239,9 @@ class VirtualFrequencyController:
         for path in list(self._current_cap):
             self.backend.forget_vcpu(path)
         self._vm_vfreq.clear()
+        self._guarantee.clear()
+        if self._table is not None:
+            self._table.clear()
         self._current_cap.clear()
         self._degraded.clear()
         self.ledger.clear()
@@ -218,15 +250,50 @@ class VirtualFrequencyController:
         self.backend.invalidate()
 
     def guaranteed_cycles_of(self, vm_name: str) -> float:
-        """``C_i`` for one vCPU of the named VM (Eq. 2)."""
-        return guaranteed_cycles(
-            self.config.period_s, self._vm_vfreq[vm_name], self.fmax_mhz
-        )
+        """``C_i`` for one vCPU of the named VM (Eq. 2, cached)."""
+        return self._guarantee[vm_name]
+
+    # -- engine-agnostic history access (snapshot schema) -----------------------
+
+    def histories(self) -> Dict[str, List[float]]:
+        """Per-vCPU consumption windows, oldest first, keyed by path."""
+        if self._table is not None:
+            return self._table.histories()
+        return {
+            path: list(hist)
+            for path, hist in self.estimator._history.items()
+        }
+
+    def load_history(self, path: str, values: List[float]) -> None:
+        """Replace one vCPU's window (snapshot restore), either engine."""
+        if self._table is not None:
+            vm_name = vm_component(path, self.machine_slice)
+            if vm_name is None or vm_name not in self._guarantee:
+                raise KeyError(f"history for unregistered VM path: {path}")
+            self._table.ensure_slot(
+                path, vm_name, self._guarantee[vm_name],
+                self._current_cap.get(path),
+            )
+            self._table.load_history(path, values)
+        else:
+            for value in values:
+                self.estimator.observe(path, float(value))
 
     # -- the control loop ----------------------------------------------------------
 
     def tick(self, t: float) -> ControllerReport:
-        """One full iteration of the feedback loop at simulation time ``t``."""
+        """One full iteration of the feedback loop at simulation time ``t``.
+
+        Dispatches to the engine selected by ``config.engine``: the
+        structure-of-arrays fast path (default) or the per-vCPU scalar
+        oracle.  Both produce bit-identical reports.
+        """
+        if self._table is not None:
+            return self._tick_vectorized(t)
+        return self._tick_scalar(t)
+
+    def _tick_scalar(self, t: float) -> ControllerReport:
+        """The per-vCPU reference implementation (``engine="scalar"``)."""
         cfg = self.config
         p_us = period_us(cfg.period_s)
         report = ControllerReport(t=t)
@@ -316,27 +383,150 @@ class VirtualFrequencyController:
         for path in allocations:
             allocations[path] = min(allocations[path], p_us)
         if self.resilience is not None and self._degraded:
-            # Degraded mode: an unobservable vCPU cannot be estimated,
-            # so it is held at a safe cap — its Eq. 2 guarantee C_i
-            # ("guarantee") or the last cap in force ("hold") — instead
-            # of silently dropping out of enforcement.
-            for path, rec in self._degraded.items():
-                if rec.vm_name not in self._vm_vfreq:
-                    continue
-                if (
-                    self.resilience.degraded_action == "hold"
-                    and path in self._current_cap
-                ):
-                    fallback = self._current_cap[path]
-                else:
-                    fallback = self.guaranteed_cycles_of(rec.vm_name)
-                rec.fallback_cycles = min(fallback, p_us)
-                allocations[path] = rec.fallback_cycles
-                report.degraded[path] = rec.fallback_cycles
+            overrides = fallback_caps(
+                self.resilience, self._degraded, self._vm_vfreq,
+                self._current_cap, self.guaranteed_cycles_of, p_us,
+            )
+            allocations.update(overrides)
+            report.degraded.update(overrides)
         self.enforcer.apply(allocations)
         if self.resilience is not None:
             self._retry_failed_writes(allocations)
         self._current_cap.update(allocations)
+        report.allocations = allocations
+        report.timings.enforce = time.perf_counter() - t0
+
+        self._finish(report)
+        return report
+
+    def _tick_vectorized(self, t: float) -> ControllerReport:
+        """Structure-of-arrays fast path (``engine="vectorized"``).
+
+        One iteration over NumPy columns instead of per-vCPU dict
+        loops; see :mod:`repro.core.soa` for why every array is
+        gathered in sample order and how reductions keep the scalar
+        engine's operation order (and therefore its exact bits).
+        """
+        cfg = self.config
+        table = self._table
+        p_us = period_us(cfg.period_s)
+        report = ControllerReport(t=t)
+
+        # Stage 1 — monitoring; samples land directly in table slots.
+        t0 = time.perf_counter()
+        samples, view = self.monitor.sample_into(
+            table, self._vm_vfreq, self._guarantee, self._current_cap
+        )
+        if self.resilience is not None:
+            self._update_health(samples)
+        report.samples = samples
+        report.timings.monitor = time.perf_counter() - t0
+
+        # Stage 2 — estimation (histories always updated, as in config A).
+        t0 = time.perf_counter()
+        table.observe(view.rows, view.consumed)
+        if not cfg.control_enabled:
+            report.timings.estimate = time.perf_counter() - t0
+            self._finish(report)
+            return report
+        estimates, trends, cases = decide_batch(table, view, cfg)
+        if self.keep_reports:
+            # The per-path decision objects are report detail only; the
+            # stages below consume the arrays directly.
+            report.decisions = build_decisions(
+                view.paths, estimates, trends, cases
+            )
+        report.timings.estimate = time.perf_counter() - t0
+
+        # Stage 3 — credits (Eq. 4) and base capping (Eq. 5).
+        t0 = time.perf_counter()
+        guarantees = table.guarantee[view.rows]
+        vm_ids = table.vm_ids[view.rows]
+        # Eq. 4 per-VM segment reduction: bincount adds contributions in
+        # sample order, exactly like the scalar per-VM sums (the masked
+        # zeros are exact no-ops).
+        contrib = np.where(view.consumed < guarantees,
+                           guarantees - view.consumed, 0.0)
+        gains = np.bincount(vm_ids, weights=contrib,
+                            minlength=table.num_vm_ids)
+        gains_list = gains.tolist()
+        self.ledger.apply_gains(
+            (vm, gains_list[vid]) for vm, vid in view.vm_order
+        )
+        alloc = np.minimum(estimates, guarantees)  # Eq. 5
+        if cfg.reserve_guarantee:
+            alloc = np.maximum(alloc, guarantees)
+        report.timings.credits = time.perf_counter() - t0
+
+        # Stage 4 — auction (Eq. 6 + Algorithm 1, shared heap version).
+        t0 = time.perf_counter()
+        total_cycles = cycles_per_period(cfg.period_s, self.num_cpus)
+        market = max(0.0, total_cycles - seqsum(alloc))
+        report.market_initial = market
+        residual = np.minimum(estimates, p_us) - alloc
+        if market > 0 and not self.ledger.any_funded():
+            # Nobody can pay: run_auction would return empty-handed
+            # after scanning every buyer, so synthesise its exact result
+            # (rounds included) without building the per-path dicts.
+            outcome = AuctionOutcome(market_left=market)
+            outcome.rounds = 1 if bool(np.any(residual > 1e-9)) else 0
+        else:
+            buyers = np.flatnonzero(estimates > alloc)
+            residual_list = residual.tolist()
+            demands = {}
+            vm_of = {}
+            for i in buyers.tolist():
+                path = view.paths[i]
+                demands[path] = residual_list[i]
+                vm_of[path] = view.vms[i]
+            priorities = (
+                {vm: self._vm_vfreq[vm] for vm, _ in view.vm_order}
+                if cfg.auction_priority == "frequency"
+                else None
+            )
+            window = cfg.auction_window_frac * p_us
+            outcome = run_auction(
+                market, demands, vm_of, self.ledger, window,
+                priorities=priorities,
+            )
+            for path, bought in outcome.purchased.items():
+                i = view.pos[path]
+                alloc[i] += bought
+                residual[i] -= bought
+        report.auction = outcome
+        report.timings.auction = time.perf_counter() - t0
+
+        # Stage 5 — free distribution of what the auction could not sell.
+        t0 = time.perf_counter()
+        if outcome.market_left > 0:
+            needy = np.flatnonzero(residual > 1e-9)
+        else:
+            needy = np.empty(0, dtype=np.intp)
+        if needy.size:
+            shares = proportional_share(outcome.market_left, residual[needy])
+            given = shares > 0
+            alloc[needy[given]] += shares[given]
+            report.freely_distributed = seqsum(shares[given])
+        report.timings.distribute = time.perf_counter() - t0
+
+        # Stage 6 — apply the capping.
+        t0 = time.perf_counter()
+        np.minimum(alloc, p_us, out=alloc)
+        allocations = dict(zip(view.paths, alloc.tolist()))
+        if self.resilience is not None and self._degraded:
+            overrides = fallback_caps(
+                self.resilience, self._degraded, self._vm_vfreq,
+                self._current_cap, self.guaranteed_cycles_of, p_us,
+            )
+            allocations.update(overrides)
+            report.degraded.update(overrides)
+            for path, cycles in overrides.items():
+                table.set_cap_path(path, cycles)
+        self.enforcer.apply(allocations)
+        if self.resilience is not None:
+            self._retry_failed_writes(allocations)
+        self._current_cap.update(allocations)
+        table.set_caps(view.rows, alloc)
         report.allocations = allocations
         report.timings.enforce = time.perf_counter() - t0
 
@@ -367,6 +557,8 @@ class VirtualFrequencyController:
         for path in list(self._degraded):
             if path not in missing:
                 rec = self._degraded.pop(path)
+                if self._table is not None:
+                    self._table.set_degraded(path, False)
                 stats.recoveries += 1
                 stats.last_recovery_ticks = self._tick_count - rec.since_tick
         for path, age in missing.items():
@@ -378,6 +570,8 @@ class VirtualFrequencyController:
             self._degraded[path] = DegradedVcpu(
                 cgroup_path=path, vm_name=vm_name, since_tick=self._tick_count
             )
+            if self._table is not None:
+                self._table.set_degraded(path, True)
             stats.degraded_transitions += 1
         stats.degraded_vcpu_ticks += len(self._degraded)
 

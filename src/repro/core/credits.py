@@ -65,6 +65,51 @@ class CreditLedger:
         self._wallets[vm_name] = min(wallet, self.config.credit_cap)
         return gain
 
+    def apply_gain(self, vm_name: str, gain: float) -> None:
+        """Credit a pre-computed Eq. 4 gain (the vectorised stage 3).
+
+        The gain is the per-VM segment reduction the vectorised engine
+        computes with ``np.bincount``; the wallet update is the same two
+        operations :meth:`accrue` performs, so both engines produce
+        bit-identical balances.
+        """
+        if gain < 0:
+            raise ValueError(f"negative credit gain for {vm_name}: {gain}")
+        wallet = self._wallets.get(vm_name, 0.0) + gain
+        self._wallets[vm_name] = min(wallet, self.config.credit_cap)
+
+    def apply_gains(self, named_gains) -> None:
+        """Batch :meth:`apply_gain` over ``(vm_name, gain)`` pairs.
+
+        A zero gain on an existing wallet is skipped — ``w + 0.0`` and
+        ``min(w, cap)`` are exact no-ops there (wallets are clipped at
+        every write, so ``w <= cap`` always holds) — but a zero gain on
+        an *unknown* VM still creates its 0.0 wallet, exactly as
+        :meth:`accrue` would on the scalar engine.
+        """
+        wallets = self._wallets
+        cap = self.config.credit_cap
+        for vm_name, gain in named_gains:
+            if gain < 0:
+                raise ValueError(
+                    f"negative credit gain for {vm_name}: {gain}"
+                )
+            if gain == 0.0 and vm_name in wallets:
+                continue
+            wallets[vm_name] = min(wallets.get(vm_name, 0.0) + gain, cap)
+
+    def any_funded(self, threshold: float = 1e-9) -> bool:
+        """True if any wallet could pay in an auction (balance > threshold).
+
+        Lets the controller skip the stage-4 buyer bookkeeping entirely
+        on the common contended steady state where every VM consumes at
+        or above its guarantee and no wallet ever fills.
+        """
+        for balance in self._wallets.values():
+            if balance > threshold:
+                return True
+        return False
+
     def spend(self, vm_name: str, amount: float) -> None:
         """Deduct an auction purchase; wallets never go negative."""
         if amount < 0:

@@ -136,12 +136,38 @@ def render_fault_stats(injector) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_stage_seconds(controller: VirtualFrequencyController) -> str:
+    """Render mean per-stage tick cost over the retained reports.
+
+    ``vfreq_iteration_seconds`` is the latest tick only; this family is
+    the running average an operator tracks when comparing the scalar
+    and vectorised engines (see docs/performance.md), labelled with the
+    active engine so a dashboard can split the series on switch-over.
+    """
+    reports = controller.reports
+    lines: List[str] = [
+        "# HELP vfreq_stage_seconds Mean wall time per controller stage.",
+        "# TYPE vfreq_stage_seconds gauge",
+    ]
+    n = len(reports)
+    engine = controller.config.engine
+    for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
+        mean = (
+            sum(getattr(r.timings, stage) for r in reports) / n if n else 0.0
+        )
+        lines.append(
+            _line("vfreq_stage_seconds", mean, stage=stage, engine=engine)
+        )
+    return "\n".join(lines) + "\n"
+
+
 def render_controller(controller: VirtualFrequencyController) -> str:
     """Render the controller's most recent iteration (empty host ok)."""
     if not controller.reports:
         out = render_report(ControllerReport(t=0.0))
     else:
         out = render_report(controller.reports[-1])
+    out += render_stage_seconds(controller)
     backend = getattr(controller, "backend", None)
     if backend is not None:
         out += render_backend_stats(backend.stats)

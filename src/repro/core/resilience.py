@@ -107,3 +107,32 @@ class DegradedVcpu:
     vm_name: str
     since_tick: int
     fallback_cycles: float = 0.0
+
+
+def fallback_caps(
+    policy: ResiliencePolicy,
+    degraded: Dict[str, DegradedVcpu],
+    registered_vms,
+    current_caps: Dict[str, float],
+    guarantee_of,
+    p_us: float,
+) -> Dict[str, float]:
+    """Safe caps for every degraded vCPU (stage 6 of both engines).
+
+    An unobservable vCPU cannot be estimated, so it is held at a safe
+    cap — its Eq. 2 guarantee ``C_i`` (``degraded_action="guarantee"``)
+    or the last cap in force (``"hold"``) — instead of silently dropping
+    out of enforcement.  Updates each record's ``fallback_cycles`` and
+    returns the path -> cycles overrides to merge into the allocation.
+    """
+    out: Dict[str, float] = {}
+    for path, rec in degraded.items():
+        if rec.vm_name not in registered_vms:
+            continue
+        if policy.degraded_action == "hold" and path in current_caps:
+            fallback = current_caps[path]
+        else:
+            fallback = guarantee_of(rec.vm_name)
+        rec.fallback_cycles = min(fallback, p_us)
+        out[path] = rec.fallback_cycles
+    return out

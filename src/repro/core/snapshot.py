@@ -27,10 +27,7 @@ def snapshot(controller: VirtualFrequencyController) -> Dict:
         "vm_vfreq": dict(controller._vm_vfreq),
         "wallets": controller.ledger.wallets(),
         "current_caps": dict(controller._current_cap),
-        "histories": {
-            path: list(hist)
-            for path, hist in controller.estimator._history.items()
-        },
+        "histories": controller.histories(),
         "prev_usage": dict(controller.monitor._prev_usage),
     }
 
@@ -95,8 +92,7 @@ def restore(controller: VirtualFrequencyController, state: Dict) -> None:
         {path: float(c) for path, c in state["current_caps"].items()}
     )
     for path, history in state["histories"].items():
-        for value in history:
-            controller.estimator.observe(path, float(value))
+        controller.load_history(path, [float(v) for v in history])
     controller.monitor._prev_usage.update(
         {path: float(u) for path, u in state["prev_usage"].items()}
     )

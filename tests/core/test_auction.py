@@ -107,6 +107,29 @@ class TestAuction:
         assert out.purchased == {}
         assert out.market_left == 100.0
 
+    def test_outcome_independent_of_demand_insertion_order(self):
+        """Regression: a VM's purchase is spread over its vCPUs greedily
+        in list order, which used to be the demands-dict insertion order
+        — monitor sample reordering changed which vCPU got the cycles.
+        The per-VM path lists are now sorted once at auction start."""
+        demands = {"/vm/v1": 30_000.0, "/vm/v0": 30_000.0, "/b/v0": 20_000.0}
+        vm_of = {"/vm/v1": "vm", "/vm/v0": "vm", "/b/v0": "b"}
+        outcomes = []
+        for ordering in (list(demands), list(reversed(list(demands)))):
+            ledger = ledger_with(vm=25_000.0, b=25_000.0)
+            out = run_auction(
+                1e6,
+                {p: demands[p] for p in ordering},
+                vm_of,
+                ledger,
+                window=10_000.0,
+            )
+            outcomes.append((out.purchased, out.spent_per_vm, out.rounds,
+                             out.market_left, ledger.wallets()))
+        assert outcomes[0] == outcomes[1]
+        # and the spread itself is deterministic: lowest path first
+        assert outcomes[0][0]["/vm/v0"] >= outcomes[0][0].get("/vm/v1", 0.0)
+
 
 class TestAuctionProperties:
     @given(

@@ -48,6 +48,31 @@ class TestExport:
         for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
             assert f'vfreq_iteration_seconds{{stage="{stage}"}}' in out
 
+    def test_mean_stage_seconds_family(self):
+        """Per-stage tick cost averaged over retained reports, labelled
+        with the active engine (docs/performance.md)."""
+        ctrl = warmed_controller()
+        out = render_controller(ctrl)
+        assert "# TYPE vfreq_stage_seconds gauge" in out
+        engine = ctrl.config.engine
+        for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
+            m = re.search(
+                rf'^vfreq_stage_seconds\{{engine="{engine}",stage="{stage}"\}} '
+                rf"([0-9.e+-]+)$",
+                out,
+                re.M,
+            )
+            assert m, stage
+            mean = sum(getattr(r.timings, stage) for r in ctrl.reports) / len(
+                ctrl.reports
+            )
+            assert float(m.group(1)) == pytest.approx(mean, rel=1e-4)
+
+    def test_stage_seconds_zero_without_reports(self):
+        node, hv, ctrl = make_host()
+        out = render_controller(ctrl)
+        assert 'vfreq_stage_seconds{engine="vectorized",stage="monitor"} 0' in out
+
     def test_exposition_format_shape(self):
         """Every non-comment line is `name{labels} value` or `name value`."""
         out = render_controller(warmed_controller())

@@ -43,9 +43,7 @@ class TestSnapshot:
         assert fresh.ledger.balance("frugal") == ctrl.ledger.balance("frugal")
         assert fresh._current_cap == ctrl._current_cap
         for path in state["histories"]:
-            assert fresh.estimator.history(path).tolist() == (
-                ctrl.estimator.history(path).tolist()
-            )
+            assert fresh.histories()[path] == ctrl.histories()[path]
 
     def test_json_roundtrip(self):
         node, hv, ctrl, sim = warmed_host()
@@ -110,9 +108,7 @@ class TestSnapshot:
             p: float(c) for p, c in state["current_caps"].items()
         }
         for path, history in state["histories"].items():
-            assert ctrl.estimator.history(path).tolist() == [
-                float(v) for v in history
-            ]
+            assert ctrl.histories()[path] == [float(v) for v in history]
         # and the loop keeps working
         sim.run(2.0)
         assert ctrl.reports[-1].samples
