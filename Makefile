@@ -2,13 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-faults-smoke bench-perf-smoke examples figures clean
+.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# tests with line coverage and the CI fail-under gate (needs pytest-cov,
+# installed by `make install`)
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=70
+
+# seeded scenario fuzz with every paper-equation oracle armed: 25 seeds
+# x 200 ticks x 2 engines = 10k engine-ticks, cross-engine bit-identity
+# checked each tick (CI gate: zero invariant violations)
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro check fuzz --seeds 25 --ticks 200 --repro-dir fuzz-repros
+
+# the nightly long-run variant: 50 seeds x 1000 ticks x 2 engines =
+# 100k engine-ticks; failing seeds are shrunk into fuzz-repros/
+fuzz-long:
+	PYTHONPATH=src $(PYTHON) -m repro check fuzz --seeds 50 --ticks 1000 --repro-dir fuzz-repros
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -47,5 +63,5 @@ examples:
 	$(PYTHON) examples/burst_vs_vfreq.py
 
 clean:
-	rm -rf benchmarks/artefacts.log benchmarks/results .pytest_cache
+	rm -rf benchmarks/artefacts.log benchmarks/results .pytest_cache fuzz-repros .coverage
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,109 @@
+"""Inline invariant-oracle overhead — the price of ``--invariants``.
+
+The paper-equation oracles (:mod:`repro.checking.invariants`) re-walk
+every sample in plain Python after each tick, so they are off by
+default.  This bench quantifies the toggle on a loaded host: the same
+closed loop runs with and without ``check_invariants=True`` and the
+artefact table reports mean tick cost for both, plus the oracle's own
+bookkeeping (every tick checked, zero violations — a non-zero count
+here would mean the controller itself is broken).
+
+Asserted claims:
+
+* the checked run trips no invariant (the oracles hold on the real
+  paper workload shape, not just the fuzzer's);
+* every tick was checked (the toggle actually wires the oracle in);
+* the overhead factor stays within a generous envelope (< 25x the
+  uninstrumented tick) — a regression here means someone put
+  quadratic work in the oracle path.
+
+``BENCH_SMOKE=1`` shrinks the run for CI.
+"""
+
+import os
+import time
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import VirtualFrequencyController
+from repro.hw.node import Node
+from repro.hw.nodespecs import NodeSpec
+from repro.sim.report import render_table
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.template import VMTemplate
+
+from conftest import emit
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+TICKS = 30 if SMOKE else 120
+VMS = 8 if SMOKE else 24
+
+SPEC = NodeSpec(
+    name="bench-inv",
+    cpu_model="bench host",
+    sockets=1,
+    cores_per_socket=8,
+    threads_per_core=2,
+    fmax_mhz=2400.0,
+    fmin_mhz=1200.0,
+    memory_mb=64 * 1024,
+    freq_jitter_mhz=0.0,
+)
+
+
+def _run(check_invariants: bool):
+    node = Node(SPEC, seed=3)
+    hv = Hypervisor(node, enforce_admission=False)
+    config = ControllerConfig.paper_evaluation(
+        check_invariants=check_invariants
+    )
+    ctrl = VirtualFrequencyController(
+        node.fs,
+        node.procfs,
+        node.sysfs,
+        num_cpus=SPEC.logical_cpus,
+        fmax_mhz=SPEC.fmax_mhz,
+        config=config,
+    )
+    per_vm = SPEC.capacity_mhz / (VMS + 1)
+    for k in range(VMS):
+        vm = hv.provision(
+            VMTemplate("t", vcpus=1, vfreq_mhz=min(1000.0, per_vm)), f"vm-{k}"
+        )
+        ctrl.register_vm(vm.name, vm.template.vfreq_mhz)
+        vm.set_uniform_demand(0.8)
+    elapsed = 0.0
+    for t in range(TICKS):
+        node.step(1.0)
+        t0 = time.perf_counter()
+        ctrl.tick(float(t))
+        elapsed += time.perf_counter() - t0
+    return ctrl, elapsed / TICKS
+
+
+def test_invariant_overhead(once):
+    def run_both():
+        base_ctrl, base_s = _run(check_invariants=False)
+        checked_ctrl, checked_s = _run(check_invariants=True)
+        return base_ctrl, base_s, checked_ctrl, checked_s
+
+    base_ctrl, base_s, checked_ctrl, checked_s = once(run_both)
+
+    checker = checked_ctrl.invariant_checker
+    assert checker is not None
+    assert base_ctrl.invariant_checker is None
+    assert checker.checks_total == TICKS
+    assert checker.violations_total == 0
+
+    factor = checked_s / base_s if base_s > 0 else float("inf")
+    assert factor < 25.0, f"oracle overhead factor {factor:.1f}x"
+
+    emit(render_table(
+        ["mode", "mean tick ms", "overhead"],
+        [
+            ["control off (default)", f"{base_s * 1e3:.3f}", "1.00x"],
+            ["--invariants inline", f"{checked_s * 1e3:.3f}", f"{factor:.2f}x"],
+        ],
+        title=f"inline oracle cost, {VMS} VMs x {TICKS} ticks "
+              f"({checker.checks_total} ticks checked, "
+              f"{checker.violations_total} violations)",
+    ))

@@ -1,0 +1,43 @@
+"""Correctness subsystem: paper-equation oracles, fuzzing, shrinking.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.checking.invariants` — independent tick-level oracles that
+  recompute the paper's Eqs. 2, 5 and 6 (plus ledger, enforcement and
+  resilience safety envelopes) directly from controller state and
+  compare against what the tick reported;
+* :mod:`repro.checking.fuzz` — a fully seeded scenario fuzzer that
+  generates VM churn, QoS renegotiation, workload bursts and fault
+  schedules as a concrete event trace, then replays it under both
+  controller engines with every invariant asserted each tick and
+  cross-engine bit-identity checked;
+* :mod:`repro.checking.shrink` — a delta-debugging shrinker that reduces
+  a failing trace to a minimal JSONL repro, replayable via
+  ``tests/checking/test_repros.py`` or ``python -m repro check replay``.
+
+See ``docs/testing.md`` for the workflow and the invariant catalogue.
+"""
+
+from repro.checking.invariants import (
+    INVARIANTS,
+    InvariantChecker,
+    InvariantViolationError,
+    Violation,
+)
+from repro.checking.fuzz import FuzzResult, fuzz_one, generate_trace
+from repro.checking.shrink import shrink_trace
+from repro.checking.trace import ReplayResult, Trace, replay
+
+__all__ = [
+    "INVARIANTS",
+    "InvariantChecker",
+    "InvariantViolationError",
+    "Violation",
+    "FuzzResult",
+    "fuzz_one",
+    "generate_trace",
+    "shrink_trace",
+    "ReplayResult",
+    "Trace",
+    "replay",
+]

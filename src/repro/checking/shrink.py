@@ -1,0 +1,92 @@
+"""Delta-debugging trace shrinker (Zeller's ddmin over event lists).
+
+Given a trace that fails replay (any invariant violation or cross-engine
+divergence), :func:`shrink_trace` finds a 1-minimal sub-sequence of its
+events that still fails: removing any single remaining event makes the
+failure disappear.  Minimal repros are what get committed under
+``tests/checking/repros/`` — a shrunken trace is usually a handful of
+lines that a human can read as a story ("provision one VM, tick twice").
+
+Replay skips events whose VM no longer exists, so *every* subset of a
+valid trace is itself a valid trace — the precondition that lets ddmin
+delete freely without constructing nonsense scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.checking.trace import Trace, replay
+
+Predicate = Callable[[Trace], bool]
+
+
+def default_predicate(trace: Trace) -> bool:
+    """True iff the trace still fails (what the shrinker preserves)."""
+    return not replay(trace).ok
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Optional[Predicate] = None,
+    *,
+    max_rounds: int = 1000,
+    log: Optional[Callable[[str], None]] = None,
+) -> Trace:
+    """Reduce ``trace`` to a 1-minimal failing trace.
+
+    ``predicate(candidate)`` must return True while the candidate still
+    exhibits the failure; it defaults to "replay reports any violation".
+    Raises ``ValueError`` if the input trace itself does not fail —
+    shrinking a passing trace would silently return garbage.
+    """
+    predicate = predicate or default_predicate
+    if not predicate(trace):
+        raise ValueError("trace does not fail the predicate; nothing to shrink")
+
+    events: List[dict] = list(trace.events)
+    probes = 0
+
+    def fails(candidate_events: List[dict]) -> bool:
+        nonlocal probes
+        probes += 1
+        return predicate(trace.with_events(candidate_events))
+
+    # Classic ddmin: try dropping chunks at granularity n, then the
+    # complements of chunks; refine granularity when stuck.
+    n = 2
+    rounds = 0
+    while len(events) >= 2 and rounds < max_rounds:
+        rounds += 1
+        chunk = max(1, len(events) // n)
+        reduced = False
+        start = 0
+        while start < len(events):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and fails(candidate):
+                events = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                if log:
+                    log(f"shrink: {len(events)} events (round {rounds})")
+                break
+            start += chunk
+        if reduced:
+            continue
+        if n >= len(events):
+            break
+        n = min(len(events), n * 2)
+
+    # Final 1-minimality sweep: ddmin guarantees it at loop exit, but a
+    # cheap explicit pass keeps us honest if max_rounds cut things short.
+    i = 0
+    while i < len(events) and len(events) > 1:
+        candidate = events[:i] + events[i + 1:]
+        if candidate and fails(candidate):
+            events = candidate
+        else:
+            i += 1
+
+    if log:
+        log(f"shrink: done — {len(events)} events after {probes} probes")
+    return trace.with_events(events)

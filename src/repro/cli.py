@@ -64,6 +64,42 @@ def build_parser() -> argparse.ArgumentParser:
                     help="thread-pool size for the node-manager control plane")
     p5.add_argument("--serial", action="store_true",
                     help="tick nodes one by one instead of in parallel")
+    p5.add_argument("--invariants", action="store_true",
+                    help="run the paper-equation invariant oracles inline "
+                         "on every node's controller")
+
+    p6 = sub.add_parser(
+        "check",
+        help="paper-equation invariant tools (fuzzer, trace replay)",
+    )
+    checksub = p6.add_subparsers(dest="check_command", required=True)
+    cf = checksub.add_parser(
+        "fuzz",
+        help="run seeded fuzz scenarios under both engines with oracles armed",
+    )
+    cf.add_argument("--seeds", type=int, default=25, metavar="N",
+                    help="number of consecutive seeds to run (default 25)")
+    cf.add_argument("--start-seed", type=int, default=0, metavar="S",
+                    help="first seed (default 0)")
+    cf.add_argument("--ticks", type=int, default=200, metavar="T",
+                    help="controller ticks per scenario (default 200)")
+    cf.add_argument("--engine", choices=("scalar", "vectorized", "both"),
+                    default="both",
+                    help="engine(s) to replay under (default both, "
+                         "with cross-engine bit-identity checked)")
+    cf.add_argument("--no-faults", action="store_true",
+                    help="generate scenarios without fault schedules")
+    cf.add_argument("--repro-dir", default=None, metavar="DIR",
+                    help="shrink each failing seed's trace and write the "
+                         "minimal JSONL repro into DIR")
+    cr = checksub.add_parser(
+        "replay",
+        help="replay a JSONL trace (e.g. a committed repro) with oracles armed",
+    )
+    cr.add_argument("trace", metavar="FILE", help="JSONL trace file")
+    cr.add_argument("--engine", choices=("scalar", "vectorized", "both"),
+                    default=None,
+                    help="override the trace header's engine selection")
 
     return parser
 
@@ -103,6 +139,10 @@ def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
                              "from it on start")
     parser.add_argument("--snapshot-every", type=int, default=None, metavar="K",
                         help="ticks between periodic snapshots (default 10)")
+    parser.add_argument("--invariants", action="store_true",
+                        help="run the paper-equation invariant oracles "
+                             "inline after every controller tick and fail "
+                             "on any violation (off by default for perf)")
 
 
 def _config_overrides(args) -> dict:
@@ -125,6 +165,8 @@ def _config_overrides(args) -> dict:
         overrides["snapshot_path"] = args.snapshot_path
     if args.snapshot_every is not None:
         overrides["snapshot_every_ticks"] = args.snapshot_every
+    if args.invariants:
+        overrides["check_invariants"] = True
     return overrides
 
 
@@ -136,6 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "placement": _cmd_placement,
         "overhead": _cmd_overhead,
         "operator": _cmd_operator,
+        "check": _cmd_check,
     }[args.command]
     return command(args)
 
@@ -289,6 +332,7 @@ def _cmd_overhead(args) -> int:
 
 
 def _cmd_operator(args) -> int:
+    from repro.core.config import ControllerConfig
     from repro.hw.cluster import Cluster
     from repro.hw.nodespecs import CHETEMI
     from repro.placement.constraints import (
@@ -323,6 +367,11 @@ def _cmd_operator(args) -> int:
             enforce_admission=admission,
             parallel=not args.serial,
             max_workers=args.workers,
+            controller_config=(
+                ControllerConfig.paper_evaluation(check_invariants=True)
+                if args.invariants
+                else None
+            ),
         )
         outcome = CloudOperator(sim, constraint, workload_for).run(
             events, horizon_s=args.horizon
@@ -339,6 +388,67 @@ def _cmd_operator(args) -> int:
         title=f"operator study: {len(events)} arrivals over {args.horizon:.0f} s, 1 chetemi",
     ))
     return 0
+
+
+def _cmd_check(args) -> int:
+    if args.check_command == "fuzz":
+        return _cmd_check_fuzz(args)
+    return _cmd_check_replay(args)
+
+
+def _cmd_check_fuzz(args) -> int:
+    import os
+
+    from repro.checking import fuzz_one, shrink_trace
+
+    failures = 0
+    engine_ticks = 0
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        result = fuzz_one(
+            seed,
+            ticks=args.ticks,
+            faults=not args.no_faults,
+            engine=args.engine,
+        )
+        engine_ticks += result.engine_ticks
+        if result.ok:
+            continue
+        failures += 1
+        print(f"seed {seed}: FAIL at tick {result.result.violations[0].t:g}")
+        for violation in result.result.violations:
+            print(f"  {violation}")
+        if args.repro_dir:
+            os.makedirs(args.repro_dir, exist_ok=True)
+            minimal = shrink_trace(result.trace)
+            path = os.path.join(args.repro_dir, f"repro_seed{seed}.jsonl")
+            minimal.save(path)
+            print(f"  shrunk to {len(minimal.events)} events -> {path}")
+    verdict = "FAIL" if failures else "ok"
+    print(
+        f"fuzz: {args.seeds} seeds x {args.ticks} ticks = "
+        f"{engine_ticks} engine-ticks, {failures} failing seed(s) [{verdict}]"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_check_replay(args) -> int:
+    from repro.checking import Trace, replay
+
+    trace = Trace.load(args.trace)
+    engines = None
+    if args.engine is not None:
+        from repro.checking.trace import ENGINES
+
+        engines = ENGINES if args.engine == "both" else (args.engine,)
+    result = replay(trace, engines=engines, stop_at_first=False)
+    for violation in result.violations:
+        print(violation)
+    verdict = "ok" if result.ok else "FAIL"
+    print(
+        f"replay: {result.ticks} tick(s) under {'+'.join(result.engines)}, "
+        f"{len(result.violations)} violation(s) [{verdict}]"
+    )
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -72,6 +72,11 @@ class ControllerConfig:
     #: JSON fault plan to inject at the backend seam (``--fault-plan``);
     #: consumed by the scenario builder, not by the controller itself.
     fault_plan_path: Optional[str] = None
+    #: Run the paper-equation invariant oracles (:mod:`repro.checking`)
+    #: inline after every tick and raise on any violation.  Off by
+    #: default: the oracles re-walk every sample in pure Python, which
+    #: is fine for tests and fuzzing but not for the perf benchmarks.
+    check_invariants: bool = False
     #: Where to persist periodic state snapshots (``--snapshot-path``).
     #: A fresh controller auto-restores from this file when it exists.
     snapshot_path: Optional[str] = None

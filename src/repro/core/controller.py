@@ -158,6 +158,14 @@ class VirtualFrequencyController:
         self._tick_count = 0
         self.reports: List[ControllerReport] = []
         self.keep_reports: bool = True
+        #: Inline paper-equation oracle (``config.check_invariants``);
+        #: ``None`` when disabled.  Import deferred: repro.checking
+        #: imports this module.
+        self.invariant_checker = None
+        if self.config.check_invariants:
+            from repro.checking.invariants import InvariantChecker
+
+            self.invariant_checker = InvariantChecker(self)
         if self.config.snapshot_path and os.path.exists(self.config.snapshot_path):
             # Crash recovery: a restarting controller resumes from the
             # last periodic snapshot instead of forgetting every wallet
@@ -248,6 +256,8 @@ class VirtualFrequencyController:
         self.estimator.reset()
         self.monitor.reset()
         self.backend.invalidate()
+        if self.invariant_checker is not None:
+            self.invariant_checker.resync()
 
     def guaranteed_cycles_of(self, vm_name: str) -> float:
         """``C_i`` for one vCPU of the named VM (Eq. 2, cached)."""
@@ -598,6 +608,12 @@ class VirtualFrequencyController:
 
     def _finish(self, report: ControllerReport) -> None:
         report.wallets = self.ledger.wallets()
+        if self.invariant_checker is not None:
+            violations = self.invariant_checker.check(report)
+            if violations:
+                from repro.checking.invariants import InvariantViolationError
+
+                raise InvariantViolationError(violations)
         if self.keep_reports:
             self.reports.append(report)
         self._tick_count += 1

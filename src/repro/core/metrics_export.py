@@ -161,6 +161,31 @@ def render_stage_seconds(controller: VirtualFrequencyController) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_invariants(checker) -> str:
+    """Render the inline invariant oracle's counters.
+
+    ``vfreq_invariant_violations_total`` is the alert an operator pages
+    on — any non-zero value means a paper-equation guarantee was broken
+    in production.  Per-invariant labels use the catalogue names from
+    :mod:`repro.checking.invariants`.
+    """
+    lines: List[str] = [
+        "# HELP vfreq_invariant_checks_total Tick-level oracle passes run.",
+        "# TYPE vfreq_invariant_checks_total counter",
+        _line("vfreq_invariant_checks_total", checker.checks_total),
+        "# HELP vfreq_invariant_violations_total Broken paper-equation invariants.",
+        "# TYPE vfreq_invariant_violations_total counter",
+        _line("vfreq_invariant_violations_total", checker.violations_total),
+    ]
+    for invariant, count in sorted(checker.violations_by_invariant.items()):
+        lines.append(
+            _line(
+                "vfreq_invariant_violations_total", count, invariant=invariant
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
 def render_controller(controller: VirtualFrequencyController) -> str:
     """Render the controller's most recent iteration (empty host ok)."""
     if not controller.reports:
@@ -168,6 +193,9 @@ def render_controller(controller: VirtualFrequencyController) -> str:
     else:
         out = render_report(controller.reports[-1])
     out += render_stage_seconds(controller)
+    checker = getattr(controller, "invariant_checker", None)
+    if checker is not None:
+        out += render_invariants(checker)
     backend = getattr(controller, "backend", None)
     if backend is not None:
         out += render_backend_stats(backend.stats)
@@ -204,4 +232,14 @@ def render_node_manager(manager: "NodeManager") -> str:
         "# TYPE vfreq_nodes_failed_last_tick gauge",
         _line("vfreq_nodes_failed_last_tick", len(manager.last_errors)),
     ]
+    checks, violations = manager.invariant_totals()
+    if checks:
+        lines += [
+            "# HELP vfreq_invariant_checks_total Tick-level oracle passes run.",
+            "# TYPE vfreq_invariant_checks_total counter",
+            _line("vfreq_invariant_checks_total", checks),
+            "# HELP vfreq_invariant_violations_total Broken paper-equation invariants.",
+            "# TYPE vfreq_invariant_violations_total counter",
+            _line("vfreq_invariant_violations_total", violations),
+        ]
     return "\n".join(lines) + "\n" + render_backend_stats(manager.backend_stats())

@@ -96,6 +96,10 @@ def restore(controller: VirtualFrequencyController, state: Dict) -> None:
     controller.monitor._prev_usage.update(
         {path: float(u) for path, u in state["prev_usage"].items()}
     )
+    if controller.invariant_checker is not None:
+        # The ledger-delta oracle must re-baseline on the restored
+        # wallets, not the pre-restore ones.
+        controller.invariant_checker.resync()
 
 
 def from_json(controller: VirtualFrequencyController, payload: str) -> None:

@@ -24,7 +24,7 @@ controller without ``.backend`` simply contributes nothing).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.api import Controller
 from repro.core.backend import BackendStats
@@ -200,3 +200,18 @@ class NodeManager:
             if backend is not None:
                 total = total + backend.stats
         return total
+
+    def invariant_totals(self) -> Tuple[int, int]:
+        """(checks, violations) summed over nodes with inline oracles.
+
+        Zero/zero when no controller runs with ``check_invariants``;
+        a non-zero second element is the cluster-wide page-an-operator
+        signal behind ``vfreq_invariant_violations_total``.
+        """
+        checks = violations = 0
+        for controller in self.controllers.values():
+            checker = getattr(controller, "invariant_checker", None)
+            if checker is not None:
+                checks += checker.checks_total
+                violations += checker.violations_total
+        return checks, violations

@@ -1,0 +1,51 @@
+"""End-to-end acceptance of the oracle + shrinker pipeline.
+
+An intentionally-broken controller (off-by-one in the Eq. 6 market
+computation) must be (1) caught by the fuzzer's oracles, (2) shrunk to
+a <= 10-event minimal repro, and (3) red when that repro replays under
+pytest — while the unmutated controller replays the same file green.
+"""
+
+import pytest
+
+from repro.checking import Trace, generate_trace, replay, shrink_trace
+
+
+@pytest.fixture
+def market_mutant(monkeypatch):
+    """Patch the scalar engine's market computation off by one cycle."""
+    import repro.core.controller as ctrl_mod
+    from repro.core.auction import compute_market
+
+    def broken_market(total_cycles, allocations):
+        return compute_market(total_cycles, allocations) + 1.0
+
+    monkeypatch.setattr(ctrl_mod, "compute_market", broken_market)
+
+
+class TestMutantPipeline:
+    def test_oracle_catches_and_shrinks_the_mutant(self, market_mutant, tmp_path):
+        trace = generate_trace(3, ticks=60)
+
+        # 1) caught: the very first control tick breaks Eq. 6.
+        result = replay(trace)
+        assert not result.ok
+        assert any(
+            v.invariant in ("eq6_market", "engine_identity")
+            for v in result.violations
+        )
+
+        # 2) shrunk: delta debugging gets it under 10 events.
+        minimal = shrink_trace(trace)
+        assert len(minimal.events) <= 10
+
+        # 3) the minimal repro replays red, from disk, like the pytest
+        # harness in test_repros.py would run it.
+        path = tmp_path / "repro_market_mutant.jsonl"
+        minimal.save(str(path))
+        reloaded = Trace.load(str(path))
+        assert not replay(reloaded).ok
+
+    def test_unmutated_controller_replays_green(self):
+        trace = generate_trace(3, ticks=60)
+        assert replay(trace).ok

@@ -1,0 +1,35 @@
+"""Auto-collected regression harness for committed minimized repros.
+
+Workflow (see docs/testing.md): when the fuzzer finds a violation, the
+shrinker writes a minimal JSONL trace; once the underlying bug is
+fixed, the trace is committed under ``tests/checking/repros/`` and this
+module replays every committed file on every CI run — each repro is a
+permanent regression test with the full invariant catalogue and
+cross-engine identity armed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.checking import Trace, replay
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "repros")
+REPRO_FILES = sorted(glob.glob(os.path.join(REPRO_DIR, "*.jsonl")))
+
+
+def test_repro_directory_exists():
+    assert os.path.isdir(REPRO_DIR)
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[os.path.basename(p) for p in REPRO_FILES]
+)
+def test_committed_repro_replays_green(path):
+    trace = Trace.load(path)
+    result = replay(trace, stop_at_first=False)
+    assert result.ok, (
+        f"{os.path.basename(path)} regressed: "
+        + "; ".join(str(v) for v in result.violations)
+    )

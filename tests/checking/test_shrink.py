@@ -1,0 +1,73 @@
+"""Tests of the ddmin trace shrinker, against synthetic predicates
+(fast, no engine in the loop) — the end-to-end mutant pipeline lives in
+test_mutant_catch.py."""
+
+import pytest
+
+from repro.checking import Trace, shrink_trace
+
+
+def make_trace(events):
+    return Trace(header=Trace.make_header(seed=0), events=list(events))
+
+
+def has_both(trace):
+    names = {e.get("vm") for e in trace.events if e["kind"] == "provision"}
+    return {"x", "y"} <= names
+
+
+class TestDdmin:
+    def test_reduces_to_the_two_relevant_events(self):
+        noise = [{"kind": "tick"}] * 10
+        events = (
+            noise
+            + [{"kind": "provision", "vm": "x", "vcpus": 1, "vfreq": 500.0}]
+            + noise
+            + [{"kind": "provision", "vm": "y", "vcpus": 1, "vfreq": 500.0}]
+            + noise
+        )
+        minimal = shrink_trace(make_trace(events), predicate=has_both)
+        assert len(minimal.events) == 2
+        assert has_both(minimal)
+
+    def test_single_event_failure(self):
+        events = [{"kind": "tick"}] * 7 + [
+            {"kind": "restart"}
+        ] + [{"kind": "tick"}] * 7
+
+        def has_restart(trace):
+            return any(e["kind"] == "restart" for e in trace.events)
+
+        minimal = shrink_trace(make_trace(events), predicate=has_restart)
+        assert minimal.events == [{"kind": "restart"}]
+
+    def test_result_is_one_minimal(self):
+        """Removing any single event from the shrunken trace must make
+        the predicate pass — the ddmin guarantee repro readers rely on."""
+        events = [{"kind": "demand", "vm": f"v{i}", "level": 0.5} for i in range(12)]
+
+        def needs_three_even(trace):
+            evens = [
+                e for e in trace.events if int(e["vm"][1:]) % 2 == 0
+            ]
+            return len(evens) >= 3
+
+        minimal = shrink_trace(make_trace(events), predicate=needs_three_even)
+        assert needs_three_even(minimal)
+        for i in range(len(minimal.events)):
+            probe = minimal.with_events(
+                minimal.events[:i] + minimal.events[i + 1:]
+            )
+            assert not needs_three_even(probe)
+
+    def test_refuses_passing_trace(self):
+        with pytest.raises(ValueError):
+            shrink_trace(make_trace([{"kind": "tick"}]), predicate=lambda t: False)
+
+    def test_header_carried_through(self):
+        trace = Trace(
+            header=Trace.make_header(seed=9, resilience=True),
+            events=[{"kind": "tick"}] * 4,
+        )
+        minimal = shrink_trace(trace, predicate=lambda t: True)
+        assert minimal.header == trace.header

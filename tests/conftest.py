@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.cgroups.fs import CgroupVersion
 from repro.core.config import ControllerConfig
@@ -10,6 +11,14 @@ from repro.core.controller import VirtualFrequencyController
 from repro.hw.node import Node
 from repro.hw.nodespecs import NodeSpec
 from repro.virt.hypervisor import Hypervisor
+
+
+# CI runs with HYPOTHESIS_PROFILE=ci and --hypothesis-seed=0: derandom-
+# ized, no per-example deadline (shared runners are jittery).  Local
+# runs keep the default profile's random exploration.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, max_examples=25
+)
 
 
 TINY = NodeSpec(

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import ControllerConfig
 from repro.core.estimator import Case, TrendEstimator
+from tests.strategies import demand_schedules
 
 P_US = 1_000_000.0
 
@@ -61,6 +62,23 @@ class TestConvergence:
             est.observe("/v", min(high, cap))
             cap = est.decide("/v", cap).estimate_cycles
         assert cap >= high - 1e-6
+
+    @given(demand_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_tracks_arbitrary_step_sequences(self, schedule):
+        """The step-up recovery property, promoted from the hand-rolled
+        low-then-high loop to arbitrary piecewise-constant schedules:
+        after each segment settles, the cap covers that segment's
+        demand — the estimator never wedges shut after any history of
+        increases and decreases."""
+        cfg = ControllerConfig.paper_evaluation()
+        est = TrendEstimator(cfg)
+        cap = P_US
+        for demand, iterations in schedule:
+            for _ in range(iterations):
+                est.observe("/v", min(demand, cap))
+                cap = est.decide("/v", cap).estimate_cycles
+            assert cap >= demand - 1e-6
 
     @given(st.floats(100_000.0, 900_000.0))
     @settings(max_examples=40, deadline=None)
