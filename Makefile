@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke examples figures clean
+.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-obs-smoke obs-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -48,6 +48,18 @@ bench-faults-smoke:
 bench-perf-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_scaling.py -k engine_speedup --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
+
+# quick observability-overhead A/B (CI gate: a disabled hub stays
+# within noise of the bare controller and full-fidelity recording —
+# spans + ledger + flight frames — fits inside 5% of one control
+# period per tick)
+bench-obs-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py --benchmark-only -q
+
+# boot the /metrics endpoint on a live observed host and scrape it once
+# (CI gate: exposition format parses, every family appears exactly once)
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve-metrics --self-test --ticks 5
 
 # the printed tables + CSVs for every paper figure/table
 figures: bench

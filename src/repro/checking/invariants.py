@@ -24,6 +24,12 @@ Invariant catalogue (names are stable — tests, docs and the
     ``max(0, C_m^MAX - Σ base)``; auction bookkeeping conserves cycles
     (``Σ purchased + market_left = market``); the free distribution
     never hands out more than the auction left over.
+``free_distribution``
+    Stage-5 bookkeeping: recorded shares are positive, target allocated
+    paths, sum exactly to ``freely_distributed``, and every healthy
+    allocation reconstructs as ``min(base + purchased + free, p_us)`` —
+    the same causal chain the decision ledger (:mod:`repro.obs.ledger`)
+    records and ``repro explain`` prints.
 ``budget``
     Total cycles allocated to observed, non-degraded vCPUs never exceed
     host capacity ``C_m^MAX`` (Eq. 1) — or, on a host over-committed
@@ -271,6 +277,57 @@ def check_eq6_market(ctx: TickContext) -> List[Violation]:
     return out
 
 
+def check_free_distribution(ctx: TickContext) -> List[Violation]:
+    """Stage-5 shares book-balance and reconstruct each allocation."""
+    report = ctx.report
+    shares = report.free_shares
+    if report.freely_distributed > TOL and not shares:
+        # A report built before stage-5 shares were recorded (legacy
+        # replay fixtures): the total-level checks in eq6_market still
+        # apply, the per-share bookkeeping has nothing to check.
+        return []
+    out: List[Violation] = []
+    total = math.fsum(shares.values())
+    if abs(total - report.freely_distributed) > TOL:
+        out.append(Violation(
+            "free_distribution",
+            f"recorded shares sum to {total:.3f} but the tick reports "
+            f"{report.freely_distributed:.3f} freely distributed",
+            t=report.t,
+        ))
+    for path, share in shares.items():
+        if share <= 0:
+            out.append(Violation(
+                "free_distribution", f"non-positive share {share:.3f}",
+                t=report.t, path=path,
+            ))
+        if path not in report.allocations:
+            out.append(Violation(
+                "free_distribution",
+                "share granted to a path that was never allocated",
+                t=report.t, path=path,
+            ))
+    purchased = report.auction.purchased if report.auction else {}
+    for path, alloc in report.allocations.items():
+        if path in ctx.degraded:
+            continue
+        b = ctx.base.get(path)
+        if b is None:
+            continue  # no decision kept for this path
+        expected = min(
+            b + purchased.get(path, 0.0) + shares.get(path, 0.0), ctx.p_us
+        )
+        if abs(expected - alloc) > TOL:
+            out.append(Violation(
+                "free_distribution",
+                f"allocation {alloc:.3f} != base {b:.3f} + purchased "
+                f"{purchased.get(path, 0.0):.3f} + free "
+                f"{shares.get(path, 0.0):.3f} (capped at {ctx.p_us:.0f})",
+                t=report.t, path=path,
+            ))
+    return out
+
+
 def check_budget(ctx: TickContext) -> List[Violation]:
     """Eq. 1 budget: observed non-degraded allocations never over-sell."""
     normal = [
@@ -425,6 +482,7 @@ INVARIANTS: Dict[str, Callable[[TickContext], List[Violation]]] = {
     "eq2_guarantee": check_eq2_guarantee,
     "eq5_base_cap": check_eq5_base_cap,
     "eq6_market": check_eq6_market,
+    "free_distribution": check_free_distribution,
     "budget": check_budget,
     "ledger": check_ledger,
     "enforcement": check_enforcement,

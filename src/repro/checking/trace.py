@@ -278,6 +278,8 @@ def _compare_reports(
         diffs.append("market_initial")
     if a.freely_distributed != b.freely_distributed:
         diffs.append("freely_distributed")
+    if a.free_shares != b.free_shares:
+        diffs.append("free_shares")
     if a.degraded != b.degraded:
         diffs.append("degraded")
     da = {p: (d.estimate_cycles, d.trend, d.case) for p, d in a.decisions.items()}

@@ -26,6 +26,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Enabling Dynamic Virtual Frequency "
         "Scaling for Virtual Machines in the Cloud' (CLUSTER 2022)",
     )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured logging at this level (default: silent)",
+    )
+    parser.add_argument(
+        "--log-format", default="console", choices=("console", "json"),
+        help="log output format (json = one object per line)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p1 = sub.add_parser("eval1", help="first evaluation (Tables II/III)")
@@ -101,6 +110,49 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None,
                     help="override the trace header's engine selection")
 
+    p7 = sub.add_parser(
+        "explain",
+        help="print the causal derivation of one cpu.max write from a "
+             "decision ledger (see docs/observability.md)",
+    )
+    p7.add_argument("--vm", required=True, help="VM name")
+    p7.add_argument("--vcpu", type=int, required=True, help="vCPU index")
+    p7.add_argument("--tick", type=int, required=True, help="controller tick")
+    p7.add_argument("--ledger", default=None, metavar="FILE",
+                    help="ledger JSONL file (default: <obs-dir>/ledger.jsonl)")
+    p7.add_argument("--obs-dir", default=None, metavar="DIR",
+                    help="observability output directory of the run")
+
+    p8 = sub.add_parser(
+        "trace", help="observability trace tools (flight-recorder dumps)"
+    )
+    tracesub = p8.add_subparsers(dest="trace_command", required=True)
+    tc = tracesub.add_parser(
+        "convert",
+        help="convert a flight-recorder crash dump into a replayable "
+             "JSONL checking trace (feed it to 'repro check replay')",
+    )
+    tc.add_argument("dump", metavar="DUMP", help="flight_*.json dump file")
+    tc.add_argument("-o", "--output", required=True, metavar="FILE",
+                    help="JSONL trace to write")
+
+    p9 = sub.add_parser(
+        "serve-metrics",
+        help="run a small simulated host and serve live Prometheus "
+             "/metrics scrapes (span histograms included)",
+    )
+    p9.add_argument("--host", default="127.0.0.1")
+    p9.add_argument("--port", type=int, default=9309)
+    p9.add_argument("--vms", type=int, default=4, help="VMs to provision")
+    p9.add_argument("--ticks", type=int, default=10,
+                    help="controller ticks to pre-run before serving")
+    p9.add_argument("--seed", type=int, default=42)
+    p9.add_argument("--obs-dir", default=None, metavar="DIR",
+                    help="also write span/ledger JSONL artefacts into DIR")
+    p9.add_argument("--self-test", action="store_true",
+                    help="bind an ephemeral port, perform one real "
+                         "loopback scrape, validate the payload and exit")
+
     return parser
 
 
@@ -143,6 +195,11 @@ def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
                         help="run the paper-equation invariant oracles "
                              "inline after every controller tick and fail "
                              "on any violation (off by default for perf)")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="enable observability — span tracing, decision "
+                             "ledger, black-box flight recorder — writing "
+                             "JSONL artefacts and crash dumps into DIR "
+                             "(see docs/observability.md)")
 
 
 def _config_overrides(args) -> dict:
@@ -167,11 +224,19 @@ def _config_overrides(args) -> dict:
         overrides["snapshot_every_ticks"] = args.snapshot_every
     if args.invariants:
         overrides["check_invariants"] = True
+    if getattr(args, "obs_dir", None) is not None:
+        from repro.obs import ObsConfig
+
+        overrides["observability"] = ObsConfig(out_dir=args.obs_dir)
     return overrides
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs.logging import configure_logging
+
+        configure_logging(args.log_level, args.log_format)
     command = {
         "eval1": _cmd_eval1,
         "eval2": _cmd_eval2,
@@ -179,6 +244,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "overhead": _cmd_overhead,
         "operator": _cmd_operator,
         "check": _cmd_check,
+        "explain": _cmd_explain,
+        "trace": _cmd_trace,
+        "serve-metrics": _cmd_serve_metrics,
     }[args.command]
     return command(args)
 
@@ -449,6 +517,144 @@ def _cmd_check_replay(args) -> int:
         f"{len(result.violations)} violation(s) [{verdict}]"
     )
     return 0 if result.ok else 1
+
+
+def _cmd_explain(args) -> int:
+    import os
+
+    from repro.obs.ledger import explain_from_entries, load_jsonl
+
+    path = args.ledger
+    if path is None:
+        if args.obs_dir is None:
+            print("explain: need --ledger FILE or --obs-dir DIR",
+                  file=sys.stderr)
+            return 2
+        path = os.path.join(args.obs_dir, "ledger.jsonl")
+    if not os.path.exists(path):
+        print(f"explain: no ledger at {path}", file=sys.stderr)
+        return 2
+    entries = load_jsonl(path)
+    try:
+        print(explain_from_entries(entries, args.vm, args.vcpu, args.tick))
+    except KeyError as exc:
+        print(f"explain: {exc.args[0]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.flight_recorder import FlightRecorder, flight_dump_to_trace
+
+    try:
+        dump = FlightRecorder.load(args.dump)
+    except FileNotFoundError:
+        print(f"error: no such flight dump: {args.dump}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = flight_dump_to_trace(dump)
+    trace.save(args.output)
+    frames = dump["frames"]
+    print(
+        f"converted {len(frames)} recorded tick(s) "
+        f"(reason: {dump['reason']}) into {len(trace.events)} events "
+        f"-> {args.output}"
+    )
+    print(f"replay with: python -m repro check replay {args.output}")
+    return 0
+
+
+def _cmd_serve_metrics(args) -> int:
+    import random
+    import time
+    import urllib.request
+
+    from repro.core.config import ControllerConfig
+    from repro.core.controller import VirtualFrequencyController
+    from repro.core.metrics_export import render_controller
+    from repro.hw.node import Node
+    from repro.hw.nodespecs import NodeSpec
+    from repro.obs import MetricsServer, ObsConfig
+    from repro.virt.hypervisor import Hypervisor, VMTemplate
+
+    spec = NodeSpec(
+        name="metrics-demo", cpu_model="demo CPU", sockets=1,
+        cores_per_socket=2, threads_per_core=2, fmax_mhz=2400.0,
+        fmin_mhz=1200.0, memory_mb=8 * 1024, freq_jitter_mhz=0.0,
+    )
+    node = Node(spec, seed=args.seed)
+    hv = Hypervisor(node)
+    cfg = ControllerConfig.paper_evaluation(
+        observability=ObsConfig(out_dir=args.obs_dir),
+        check_invariants=True,
+    )
+    ctrl = VirtualFrequencyController(
+        node.fs, node.procfs, node.sysfs,
+        num_cpus=spec.logical_cpus, fmax_mhz=spec.fmax_mhz, config=cfg,
+    )
+    template = VMTemplate("demo", vcpus=2, vfreq_mhz=600.0)
+    rng = random.Random(args.seed)
+    vms = []
+    for k in range(args.vms):
+        vm = hv.provision(template, f"demo-{k}")
+        ctrl.register_vm(vm.name, template.vfreq_mhz)
+        vms.append(vm)
+
+    def one_tick(i: int) -> None:
+        for vm in vms:
+            vm.set_uniform_demand(rng.random())
+        node.step(cfg.period_s)
+        ctrl.tick(float(i))
+
+    for i in range(args.ticks):
+        one_tick(i + 1)
+    server = MetricsServer(
+        lambda: render_controller(ctrl),
+        host=args.host,
+        port=0 if args.self_test else args.port,
+    ).start()
+    print(f"serving {server.address}")
+    if args.self_test:
+        try:
+            with urllib.request.urlopen(server.address) as resp:
+                ctype = resp.headers.get("Content-Type", "")
+                body = resp.read().decode()
+        finally:
+            server.stop()
+        assert "text/plain" in ctype, f"unexpected content type {ctype!r}"
+        helps = [ln.split()[2] for ln in body.splitlines()
+                 if ln.startswith("# HELP")]
+        assert len(helps) == len(set(helps)), "duplicate HELP family"
+        for family in (
+            "vfreq_vcpu_consumed_cycles",
+            "vfreq_stage_seconds",
+            "vfreq_span_seconds",
+            "vfreq_invariant_checks_total",
+            "vfreq_backend_ops_total",
+        ):
+            assert f"# HELP {family} " in body, f"family missing: {family}"
+        print(
+            f"self-test ok: scraped {len(body.splitlines())} lines, "
+            f"{len(helps)} families, ticks={args.ticks}"
+        )
+        if ctrl.obs is not None:
+            ctrl.obs.close()
+        return 0
+    tick = args.ticks
+    try:
+        while True:
+            time.sleep(cfg.period_s)
+            tick += 1
+            one_tick(tick)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if ctrl.obs is not None:
+            ctrl.obs.close()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -28,12 +28,15 @@ from repro.core.resilience import DegradedVcpu, ResiliencePolicy, ResilienceStat
 from repro.core.snapshot import snapshot, restore, to_json, from_json
 from repro.core.soa import VcpuTable, TickView
 from repro.core.metrics_export import (
+    MetricsBuffer,
     render_backend_stats,
+    render_cluster,
     render_controller,
     render_fault_stats,
     render_node_manager,
     render_report,
     render_resilience,
+    render_span_seconds,
     render_stage_seconds,
 )
 
@@ -69,6 +72,9 @@ __all__ = [
     "VcpuTable",
     "TickView",
     "render_stage_seconds",
+    "render_span_seconds",
+    "render_cluster",
+    "MetricsBuffer",
     "render_backend_stats",
     "render_controller",
     "render_fault_stats",

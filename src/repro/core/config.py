@@ -16,6 +16,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 from repro.core.resilience import ResiliencePolicy
+from repro.obs.config import ObsConfig
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,11 @@ class ControllerConfig:
     #: default: the oracles re-walk every sample in pure Python, which
     #: is fine for tests and fuzzing but not for the perf benchmarks.
     check_invariants: bool = False
+    #: Observability: span tracing, decision ledger and flight recorder
+    #: (:mod:`repro.obs`).  ``None`` attaches nothing — the tick path
+    #: then pays exactly one ``is None`` check and the report stream is
+    #: bit-identical either way (the hub works post hoc from reports).
+    observability: Optional[ObsConfig] = None
     #: Where to persist periodic state snapshots (``--snapshot-path``).
     #: A fresh controller auto-restores from this file when it exists.
     snapshot_path: Optional[str] = None

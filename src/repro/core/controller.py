@@ -39,10 +39,14 @@ from repro.core.resilience import (
     fallback_caps,
 )
 from repro.core.soa import VcpuTable, build_decisions, decide_batch, seqsum
+from repro.core.soa import gather_free_shares
 from repro.core.units import cycles_per_period, guaranteed_cycles, period_us
+from repro.obs.logging import get_logger
 from repro.sched.fairshare import proportional_share
 
 import numpy as np
+
+log = get_logger("repro.controller")
 
 
 @dataclass
@@ -85,6 +89,10 @@ class ControllerReport:
     #: Degraded-mode fallback caps applied this tick (path -> cycles);
     #: empty without a resilience policy or when all vCPUs are healthy.
     degraded: Dict[str, float] = field(default_factory=dict)
+    #: Stage-5 free-distribution shares granted this tick (path ->
+    #: cycles > 0).  Part of the cross-engine comparison surface and
+    #: the decision ledger's per-write provenance.
+    free_shares: Dict[str, float] = field(default_factory=dict)
 
     def vfreq_by_vm(self) -> Dict[str, float]:
         """Average estimated virtual frequency per VM (for Figs. 6-9)."""
@@ -174,6 +182,16 @@ class VirtualFrequencyController:
 
             with open(self.config.snapshot_path) as fh:
                 from_json(self, fh.read())
+            log.info("restored controller state from snapshot %s",
+                     self.config.snapshot_path)
+        #: Observability hub (spans + ledger + flight recorder); ``None``
+        #: keeps the tick path at one attribute check.  Attach later at
+        #: runtime with ``Observability.attach(controller, cfg)`` too.
+        self.obs = None
+        if self.config.observability is not None:
+            from repro.obs.hub import Observability
+
+            Observability.attach(self, self.config.observability)
 
     @property
     def period_s(self) -> float:
@@ -298,9 +316,23 @@ class VirtualFrequencyController:
         structure-of-arrays fast path (default) or the per-vCPU scalar
         oracle.  Both produce bit-identical reports.
         """
-        if self._table is not None:
-            return self._tick_vectorized(t)
-        return self._tick_scalar(t)
+        if self.obs is None:
+            if self._table is not None:
+                return self._tick_vectorized(t)
+            return self._tick_scalar(t)
+        try:
+            if self._table is not None:
+                return self._tick_vectorized(t)
+            return self._tick_scalar(t)
+        except Exception as exc:
+            from repro.checking.invariants import InvariantViolationError
+
+            if not isinstance(exc, InvariantViolationError):
+                # Violations dump in _finish (the failing report is in
+                # the ring by then); everything else — e.g. an injected
+                # ControllerCrash — dumps here on the way out.
+                self.obs.on_tick_error(self, exc, self._tick_count)
+            raise
 
     def _tick_scalar(self, t: float) -> ControllerReport:
         """The per-vCPU reference implementation (``engine="scalar"``)."""
@@ -386,6 +418,7 @@ class VirtualFrequencyController:
         for path, extra in leftovers.items():
             allocations[path] += extra
         report.freely_distributed = sum(leftovers.values())
+        report.free_shares = leftovers
         report.timings.distribute = time.perf_counter() - t0
 
         # Stage 6 — apply the capping.
@@ -517,6 +550,7 @@ class VirtualFrequencyController:
             given = shares > 0
             alloc[needy[given]] += shares[given]
             report.freely_distributed = seqsum(shares[given])
+            report.free_shares = gather_free_shares(view.paths, needy, shares)
         report.timings.distribute = time.perf_counter() - t0
 
         # Stage 6 — apply the capping.
@@ -571,6 +605,11 @@ class VirtualFrequencyController:
                     self._table.set_degraded(path, False)
                 stats.recoveries += 1
                 stats.last_recovery_ticks = self._tick_count - rec.since_tick
+                log.info(
+                    "vcpu recovered after %d tick(s) degraded",
+                    stats.last_recovery_ticks,
+                    extra={"path": path, "tick": self._tick_count},
+                )
         for path, age in missing.items():
             if age < policy.degraded_after_ticks or path in self._degraded:
                 continue
@@ -583,6 +622,11 @@ class VirtualFrequencyController:
             if self._table is not None:
                 self._table.set_degraded(path, True)
             stats.degraded_transitions += 1
+            log.warning(
+                "vcpu unobservable for %d tick(s): entering degraded mode",
+                age,
+                extra={"path": path, "vm": vm_name, "tick": self._tick_count},
+            )
         stats.degraded_vcpu_ticks += len(self._degraded)
 
     def _retry_failed_writes(self, allocations: Dict[str, float]) -> None:
@@ -600,6 +644,12 @@ class VirtualFrequencyController:
             self.enforcer.apply(retry)
             failed = dict(self.backend.last_write_errors)
         stats.write_failures += len(failed)
+        if failed:
+            log.warning(
+                "%d cap write(s) still failing after %d retries",
+                len(failed), policy.write_retries,
+                extra={"paths": sorted(failed), "tick": self._tick_count},
+            )
 
     @property
     def degraded_vcpus(self) -> int:
@@ -608,11 +658,19 @@ class VirtualFrequencyController:
 
     def _finish(self, report: ControllerReport) -> None:
         report.wallets = self.ledger.wallets()
+        if self.obs is not None:
+            # Before the oracle check, so a violating tick is already in
+            # the flight ring (and ledger) when the dump fires.
+            self.obs.on_tick(self, report, self._tick_count)
         if self.invariant_checker is not None:
             violations = self.invariant_checker.check(report)
             if violations:
                 from repro.checking.invariants import InvariantViolationError
 
+                if self.obs is not None:
+                    self.obs.on_violation(
+                        self, report, violations, self._tick_count
+                    )
                 raise InvariantViolationError(violations)
         if self.keep_reports:
             self.reports.append(report)

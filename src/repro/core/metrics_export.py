@@ -3,7 +3,7 @@
 A production controller is scraped, not printed.  This renders the
 latest :class:`~repro.core.controller.ControllerReport` (plus wallets
 and config) as the Prometheus text format, ready to serve from a
-``/metrics`` endpoint:
+``/metrics`` endpoint (``repro serve-metrics`` does exactly that):
 
     vfreq_vcpu_consumed_cycles{vm="small-0",vcpu="0"} 208211
     vfreq_vcpu_allocated_cycles{vm="small-0",vcpu="0"} 208333
@@ -11,21 +11,41 @@ and config) as the Prometheus text format, ready to serve from a
     vfreq_vm_credit_cycles{vm="small-0"} 1.25e+06
     vfreq_market_initial_cycles 1666667
     vfreq_iteration_seconds{stage="monitor"} 0.0021
+    vfreq_span_seconds_bucket{stage="monitor",le="0.001"} 17
+
+Every render function writes through a :class:`MetricsBuffer`, which
+groups samples by metric family and emits each family's ``# HELP`` /
+``# TYPE`` header exactly once with all its samples contiguous — the
+text-exposition rules a real Prometheus scraper enforces.  Called
+standalone (no ``buf``), each function still returns its own complete,
+valid exposition; to compose several sources into one page (controller
++ node-manager aggregates, or a whole cluster) pass one shared buffer —
+:func:`render_cluster` does this, disambiguating per-node series with a
+``node`` label so identically-named samples never collide.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.backend import BackendStats
 from repro.core.controller import ControllerReport, VirtualFrequencyController
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracing import Tracer
     from repro.sim.node_manager import NodeManager
+
+_STAGES = ("monitor", "estimate", "credits", "auction", "distribute", "enforce")
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only — no quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _line(name: str, value: float, **labels: str) -> str:
@@ -35,108 +55,205 @@ def _line(name: str, value: float, **labels: str) -> str:
     return f"{name} {value:g}"
 
 
-def render_report(report: ControllerReport) -> str:
+class MetricsBuffer:
+    """Family-grouped sample collector for one exposition page.
+
+    ``family()`` declares a metric family (first declaration wins);
+    ``add()`` appends one sample to it.  ``text()`` renders families in
+    first-seen order, each with one ``# HELP`` / ``# TYPE`` header and
+    its samples contiguous — so any number of render functions can share
+    one buffer without ever duplicating a header or splitting a family.
+    """
+
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._meta: Dict[str, Tuple[str, str]] = {}
+        self._samples: Dict[str, List[str]] = {}
+
+    def family(self, name: str, mtype: str, help_text: str) -> None:
+        if name not in self._meta:
+            self._meta[name] = (mtype, help_text)
+            self._order.append(name)
+            self._samples[name] = []
+
+    def add(self, family: str, value: float, suffix: str = "", **labels: str) -> None:
+        """One sample; ``suffix`` covers ``_bucket``/``_sum``/``_count``."""
+        if family not in self._meta:
+            raise KeyError(f"undeclared metric family: {family}")
+        self._samples[family].append(_line(family + suffix, value, **labels))
+
+    def text(self) -> str:
+        lines: List[str] = []
+        for name in self._order:
+            mtype, help_text = self._meta[name]
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {mtype}")
+            lines.extend(self._samples[name])
+        return "\n".join(lines) + "\n"
+
+
+def _merged(labels: Dict[str, str], extra: Optional[Dict[str, str]]) -> Dict[str, str]:
+    if not extra:
+        return labels
+    out = dict(labels)
+    out.update(extra)
+    return out
+
+
+def render_report(
+    report: ControllerReport,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render one iteration's observations and decisions."""
-    lines: List[str] = [
-        "# HELP vfreq_vcpu_consumed_cycles Cycles consumed last period (us).",
-        "# TYPE vfreq_vcpu_consumed_cycles gauge",
-    ]
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_vcpu_consumed_cycles", "gauge",
+        "Cycles consumed last period (us).",
+    )
     for s in report.samples:
-        labels = {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}
-        lines.append(_line("vfreq_vcpu_consumed_cycles", s.consumed_cycles, **labels))
-    lines += [
-        "# HELP vfreq_vcpu_estimated_mhz Estimated virtual frequency.",
-        "# TYPE vfreq_vcpu_estimated_mhz gauge",
-    ]
+        labels = _merged({"vm": s.vm_name, "vcpu": str(s.vcpu_index)}, extra_labels)
+        buf.add("vfreq_vcpu_consumed_cycles", s.consumed_cycles, **labels)
+    buf.family(
+        "vfreq_vcpu_estimated_mhz", "gauge", "Estimated virtual frequency."
+    )
     for s in report.samples:
-        labels = {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}
-        lines.append(_line("vfreq_vcpu_estimated_mhz", s.vfreq_mhz, **labels))
+        labels = _merged({"vm": s.vm_name, "vcpu": str(s.vcpu_index)}, extra_labels)
+        buf.add("vfreq_vcpu_estimated_mhz", s.vfreq_mhz, **labels)
     if report.allocations:
-        lines += [
-            "# HELP vfreq_vcpu_allocated_cycles Capping applied this period (us).",
-            "# TYPE vfreq_vcpu_allocated_cycles gauge",
-        ]
+        buf.family(
+            "vfreq_vcpu_allocated_cycles", "gauge",
+            "Capping applied this period (us).",
+        )
         for s in report.samples:
             alloc = report.allocations.get(s.cgroup_path)
             if alloc is None:
                 continue
-            labels = {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}
-            lines.append(_line("vfreq_vcpu_allocated_cycles", alloc, **labels))
-    lines += [
-        "# HELP vfreq_vm_credit_cycles Auction wallet balance.",
-        "# TYPE vfreq_vm_credit_cycles gauge",
-    ]
+            labels = _merged(
+                {"vm": s.vm_name, "vcpu": str(s.vcpu_index)}, extra_labels
+            )
+            buf.add("vfreq_vcpu_allocated_cycles", alloc, **labels)
+    buf.family("vfreq_vm_credit_cycles", "gauge", "Auction wallet balance.")
     for vm, balance in sorted(report.wallets.items()):
-        lines.append(_line("vfreq_vm_credit_cycles", balance, vm=vm))
-    lines += [
-        "# HELP vfreq_market_initial_cycles Unallocated cycles before the auction.",
-        "# TYPE vfreq_market_initial_cycles gauge",
-        _line("vfreq_market_initial_cycles", report.market_initial),
-        "# HELP vfreq_iteration_seconds Wall time of each controller stage.",
-        "# TYPE vfreq_iteration_seconds gauge",
-    ]
-    for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
-        lines.append(
-            _line("vfreq_iteration_seconds", getattr(report.timings, stage), stage=stage)
+        buf.add(
+            "vfreq_vm_credit_cycles", balance, **_merged({"vm": vm}, extra_labels)
         )
-    return "\n".join(lines) + "\n"
+    buf.family(
+        "vfreq_market_initial_cycles", "gauge",
+        "Unallocated cycles before the auction.",
+    )
+    buf.add(
+        "vfreq_market_initial_cycles", report.market_initial,
+        **_merged({}, extra_labels),
+    )
+    buf.family(
+        "vfreq_iteration_seconds", "gauge",
+        "Wall time of each controller stage.",
+    )
+    for stage in _STAGES:
+        buf.add(
+            "vfreq_iteration_seconds", getattr(report.timings, stage),
+            **_merged({"stage": stage}, extra_labels),
+        )
+    return buf.text() if own else ""
 
 
-def render_backend_stats(stats: BackendStats) -> str:
+def render_backend_stats(
+    stats: BackendStats,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render cumulative kernel-surface operation counters.
 
     One counter family labelled by operation kind, so a dashboard can
     graph the monitoring syscall budget the paper worries about
     (§IV-A2: monitoring dominates iteration cost).
     """
-    lines: List[str] = [
-        "# HELP vfreq_backend_ops_total Kernel-surface operations issued.",
-        "# TYPE vfreq_backend_ops_total counter",
-    ]
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_backend_ops_total", "counter",
+        "Kernel-surface operations issued.",
+    )
     for op, count in stats.as_dict().items():
-        lines.append(_line("vfreq_backend_ops_total", count, op=op))
-    return "\n".join(lines) + "\n"
+        buf.add(
+            "vfreq_backend_ops_total", count, **_merged({"op": op}, extra_labels)
+        )
+    return buf.text() if own else ""
 
 
-def render_resilience(controller: VirtualFrequencyController) -> str:
+def render_resilience(
+    controller: VirtualFrequencyController,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render fault-handling counters of a resilient controller.
 
     One event-counter family from :class:`~repro.core.resilience.
     ResilienceStats`, the degraded-vCPU gauge an operator alerts on,
     and the latest crash/occlusion recovery latency in ticks.
     """
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
     stats = controller.resilience_stats
-    lines: List[str] = [
-        "# HELP vfreq_resilience_events_total Fault-handling events.",
-        "# TYPE vfreq_resilience_events_total counter",
-    ]
+    buf.family(
+        "vfreq_resilience_events_total", "counter", "Fault-handling events."
+    )
     for event, count in stats.as_dict().items():
         if event == "last_recovery_ticks":
             continue
-        lines.append(_line("vfreq_resilience_events_total", count, event=event))
-    lines += [
-        "# HELP vfreq_degraded_vcpus vCPUs currently on fallback capping.",
-        "# TYPE vfreq_degraded_vcpus gauge",
-        _line("vfreq_degraded_vcpus", controller.degraded_vcpus),
-        "# HELP vfreq_recovery_latency_ticks Ticks the last recovered vCPU spent degraded.",
-        "# TYPE vfreq_recovery_latency_ticks gauge",
-        _line("vfreq_recovery_latency_ticks", stats.last_recovery_ticks),
-    ]
-    return "\n".join(lines) + "\n"
+        buf.add(
+            "vfreq_resilience_events_total", count,
+            **_merged({"event": event}, extra_labels),
+        )
+    buf.family(
+        "vfreq_degraded_vcpus", "gauge", "vCPUs currently on fallback capping."
+    )
+    buf.add(
+        "vfreq_degraded_vcpus", controller.degraded_vcpus,
+        **_merged({}, extra_labels),
+    )
+    buf.family(
+        "vfreq_recovery_latency_ticks", "gauge",
+        "Ticks the last recovered vCPU spent degraded.",
+    )
+    buf.add(
+        "vfreq_recovery_latency_ticks", stats.last_recovery_ticks,
+        **_merged({}, extra_labels),
+    )
+    return buf.text() if own else ""
 
 
-def render_fault_stats(injector) -> str:
+def render_fault_stats(
+    injector,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render injected-fault counters of a FaultInjector backend."""
-    lines: List[str] = [
-        "# HELP vfreq_faults_injected_total Faults fired by the active plan.",
-        "# TYPE vfreq_faults_injected_total counter",
-    ]
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_faults_injected_total", "counter",
+        "Faults fired by the active plan.",
+    )
     for kind, count in sorted(injector.injected.items()):
-        lines.append(_line("vfreq_faults_injected_total", count, kind=kind))
-    return "\n".join(lines) + "\n"
+        buf.add(
+            "vfreq_faults_injected_total", count,
+            **_merged({"kind": kind}, extra_labels),
+        )
+    return buf.text() if own else ""
 
 
-def render_stage_seconds(controller: VirtualFrequencyController) -> str:
+def render_stage_seconds(
+    controller: VirtualFrequencyController,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render mean per-stage tick cost over the retained reports.
 
     ``vfreq_iteration_seconds`` is the latest tick only; this family is
@@ -144,24 +261,73 @@ def render_stage_seconds(controller: VirtualFrequencyController) -> str:
     and vectorised engines (see docs/performance.md), labelled with the
     active engine so a dashboard can split the series on switch-over.
     """
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
     reports = controller.reports
-    lines: List[str] = [
-        "# HELP vfreq_stage_seconds Mean wall time per controller stage.",
-        "# TYPE vfreq_stage_seconds gauge",
-    ]
+    buf.family(
+        "vfreq_stage_seconds", "gauge", "Mean wall time per controller stage."
+    )
     n = len(reports)
     engine = controller.config.engine
-    for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
+    for stage in _STAGES:
         mean = (
             sum(getattr(r.timings, stage) for r in reports) / n if n else 0.0
         )
-        lines.append(
-            _line("vfreq_stage_seconds", mean, stage=stage, engine=engine)
+        buf.add(
+            "vfreq_stage_seconds", mean,
+            **_merged({"stage": stage, "engine": engine}, extra_labels),
         )
-    return "\n".join(lines) + "\n"
+    return buf.text() if own else ""
 
 
-def render_invariants(checker) -> str:
+def render_span_seconds(
+    tracer: "Tracer",
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the tracer's per-stage duration histograms.
+
+    One Prometheus histogram family ``vfreq_span_seconds`` labelled by
+    stage: cumulative ``_bucket{le=...}`` series (``+Inf`` included),
+    plus ``_sum`` and ``_count`` — fed by every ``stage:*`` span the
+    tracer has seen, so quantiles cover the whole run, not just the
+    latest tick.
+    """
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_span_seconds", "histogram",
+        "Distribution of per-stage span durations.",
+    )
+    for stage in sorted(tracer.histograms):
+        hist = tracer.histograms[stage]
+        for bound, cum in zip(hist.bounds, hist.cumulative()):
+            buf.add(
+                "vfreq_span_seconds", cum, suffix="_bucket",
+                **_merged({"stage": stage, "le": f"{bound:g}"}, extra_labels),
+            )
+        buf.add(
+            "vfreq_span_seconds", hist.count, suffix="_bucket",
+            **_merged({"stage": stage, "le": "+Inf"}, extra_labels),
+        )
+        buf.add(
+            "vfreq_span_seconds", hist.sum, suffix="_sum",
+            **_merged({"stage": stage}, extra_labels),
+        )
+        buf.add(
+            "vfreq_span_seconds", hist.count, suffix="_count",
+            **_merged({"stage": stage}, extra_labels),
+        )
+    return buf.text() if own else ""
+
+
+def render_invariants(
+    checker,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render the inline invariant oracle's counters.
 
     ``vfreq_invariant_violations_total`` is the alert an operator pages
@@ -169,77 +335,136 @@ def render_invariants(checker) -> str:
     in production.  Per-invariant labels use the catalogue names from
     :mod:`repro.checking.invariants`.
     """
-    lines: List[str] = [
-        "# HELP vfreq_invariant_checks_total Tick-level oracle passes run.",
-        "# TYPE vfreq_invariant_checks_total counter",
-        _line("vfreq_invariant_checks_total", checker.checks_total),
-        "# HELP vfreq_invariant_violations_total Broken paper-equation invariants.",
-        "# TYPE vfreq_invariant_violations_total counter",
-        _line("vfreq_invariant_violations_total", checker.violations_total),
-    ]
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_invariant_checks_total", "counter",
+        "Tick-level oracle passes run.",
+    )
+    buf.add(
+        "vfreq_invariant_checks_total", checker.checks_total,
+        **_merged({}, extra_labels),
+    )
+    buf.family(
+        "vfreq_invariant_violations_total", "counter",
+        "Broken paper-equation invariants.",
+    )
+    buf.add(
+        "vfreq_invariant_violations_total", checker.violations_total,
+        **_merged({}, extra_labels),
+    )
     for invariant, count in sorted(checker.violations_by_invariant.items()):
-        lines.append(
-            _line(
-                "vfreq_invariant_violations_total", count, invariant=invariant
-            )
+        buf.add(
+            "vfreq_invariant_violations_total", count,
+            **_merged({"invariant": invariant}, extra_labels),
         )
-    return "\n".join(lines) + "\n"
+    return buf.text() if own else ""
 
 
-def render_controller(controller: VirtualFrequencyController) -> str:
+def render_controller(
+    controller: VirtualFrequencyController,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render the controller's most recent iteration (empty host ok)."""
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
     if not controller.reports:
-        out = render_report(ControllerReport(t=0.0))
+        render_report(ControllerReport(t=0.0), buf, extra_labels)
     else:
-        out = render_report(controller.reports[-1])
-    out += render_stage_seconds(controller)
+        render_report(controller.reports[-1], buf, extra_labels)
+    render_stage_seconds(controller, buf, extra_labels)
+    obs = getattr(controller, "obs", None)
+    if obs is not None and getattr(obs, "tracer", None) is not None:
+        render_span_seconds(obs.tracer, buf, extra_labels)
     checker = getattr(controller, "invariant_checker", None)
     if checker is not None:
-        out += render_invariants(checker)
+        render_invariants(checker, buf, extra_labels)
     backend = getattr(controller, "backend", None)
     if backend is not None:
-        out += render_backend_stats(backend.stats)
+        render_backend_stats(backend.stats, buf, extra_labels)
         if hasattr(backend, "injected"):
-            out += render_fault_stats(backend)
+            render_fault_stats(backend, buf, extra_labels)
     if controller.resilience is not None:
-        out += render_resilience(controller)
-    return out
+        render_resilience(controller, buf, extra_labels)
+    return buf.text() if own else ""
 
 
-def render_node_manager(manager: "NodeManager") -> str:
+def render_node_manager(
+    manager: "NodeManager",
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
     """Render control-plane aggregates: node count, summed stage wall
     time across the latest tick, and the cluster-wide syscall budget."""
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
     timings = manager.aggregate_timings()
-    lines: List[str] = [
-        "# HELP vfreq_nodes_managed Nodes under this control plane.",
-        "# TYPE vfreq_nodes_managed gauge",
-        _line("vfreq_nodes_managed", manager.num_nodes),
-        "# HELP vfreq_nodes_iteration_seconds Summed stage wall time, last tick.",
-        "# TYPE vfreq_nodes_iteration_seconds gauge",
-    ]
-    for stage in ("monitor", "estimate", "credits", "auction", "distribute", "enforce"):
-        lines.append(
-            _line("vfreq_nodes_iteration_seconds", getattr(timings, stage), stage=stage)
+    buf.family(
+        "vfreq_nodes_managed", "gauge", "Nodes under this control plane."
+    )
+    buf.add("vfreq_nodes_managed", manager.num_nodes, **_merged({}, extra_labels))
+    buf.family(
+        "vfreq_nodes_iteration_seconds", "gauge",
+        "Summed stage wall time, last tick.",
+    )
+    for stage in _STAGES:
+        buf.add(
+            "vfreq_nodes_iteration_seconds", getattr(timings, stage),
+            **_merged({"stage": stage}, extra_labels),
         )
-    lines += [
-        "# HELP vfreq_node_tick_errors_total Ticks that raised, per node.",
-        "# TYPE vfreq_node_tick_errors_total counter",
-    ]
+    buf.family(
+        "vfreq_node_tick_errors_total", "counter",
+        "Ticks that raised, per node.",
+    )
     for node_id, count in sorted(manager.error_counts.items()):
-        lines.append(_line("vfreq_node_tick_errors_total", count, node=node_id))
-    lines += [
-        "# HELP vfreq_nodes_failed_last_tick Nodes whose latest tick raised.",
-        "# TYPE vfreq_nodes_failed_last_tick gauge",
-        _line("vfreq_nodes_failed_last_tick", len(manager.last_errors)),
-    ]
+        buf.add(
+            "vfreq_node_tick_errors_total", count,
+            **_merged({"node": node_id}, extra_labels),
+        )
+    buf.family(
+        "vfreq_nodes_failed_last_tick", "gauge",
+        "Nodes whose latest tick raised.",
+    )
+    buf.add(
+        "vfreq_nodes_failed_last_tick", len(manager.last_errors),
+        **_merged({}, extra_labels),
+    )
     checks, violations = manager.invariant_totals()
     if checks:
-        lines += [
-            "# HELP vfreq_invariant_checks_total Tick-level oracle passes run.",
-            "# TYPE vfreq_invariant_checks_total counter",
-            _line("vfreq_invariant_checks_total", checks),
-            "# HELP vfreq_invariant_violations_total Broken paper-equation invariants.",
-            "# TYPE vfreq_invariant_violations_total counter",
-            _line("vfreq_invariant_violations_total", violations),
-        ]
-    return "\n".join(lines) + "\n" + render_backend_stats(manager.backend_stats())
+        buf.family(
+            "vfreq_invariant_checks_total", "counter",
+            "Tick-level oracle passes run.",
+        )
+        buf.add(
+            "vfreq_invariant_checks_total", checks, **_merged({}, extra_labels)
+        )
+        buf.family(
+            "vfreq_invariant_violations_total", "counter",
+            "Broken paper-equation invariants.",
+        )
+        buf.add(
+            "vfreq_invariant_violations_total", violations,
+            **_merged({}, extra_labels),
+        )
+    render_backend_stats(manager.backend_stats(), buf, extra_labels)
+    return buf.text() if own else ""
+
+
+def render_cluster(manager: "NodeManager") -> str:
+    """One exposition page for a whole control plane.
+
+    Manager-level aggregates render unlabelled; every per-node
+    controller's series carry a ``node`` label, so families shared
+    between the two levels (backend ops, invariant counters) keep one
+    header, contiguous samples, and collision-free label sets.
+    """
+    buf = MetricsBuffer()
+    render_node_manager(manager, buf)
+    for node_id, controller in manager.controllers.items():
+        if isinstance(controller, VirtualFrequencyController):
+            render_controller(controller, buf, {"node": node_id})
+    return buf.text()

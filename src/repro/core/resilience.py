@@ -34,6 +34,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict
 
+from repro.obs.logging import get_logger
+
+log = get_logger("repro.resilience")
+
 
 @dataclass(frozen=True)
 class ResiliencePolicy:
@@ -135,4 +139,9 @@ def fallback_caps(
             fallback = guarantee_of(rec.vm_name)
         rec.fallback_cycles = min(fallback, p_us)
         out[path] = rec.fallback_cycles
+        log.debug(
+            "degraded fallback cap %.0f cycles (%s)",
+            rec.fallback_cycles, policy.degraded_action,
+            extra={"path": path, "vm": rec.vm_name},
+        )
     return out

@@ -489,3 +489,20 @@ def build_decisions(
         )
         for i, path in enumerate(paths)
     }
+
+
+def gather_free_shares(
+    paths: List[str], needy: np.ndarray, shares: np.ndarray
+) -> Dict[str, float]:
+    """Materialise stage-5 shares as the scalar engine's leftover dict.
+
+    ``needy`` indexes ``paths`` in sample order (``np.flatnonzero`` is
+    ascending), matching the scalar ``distribute_leftovers`` insertion
+    order; zero shares are dropped exactly like its ``share > 0``
+    filter, so both engines report the identical mapping.
+    """
+    return {
+        paths[i]: share
+        for i, share in zip(needy.tolist(), shares.tolist())
+        if share > 0
+    }

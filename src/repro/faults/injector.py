@@ -30,6 +30,9 @@ from repro.cgroups.procfs import ProcFS, parse_stat_line
 from repro.cgroups.sysfs import CpuFreqSysFS
 from repro.core.backend import DEFAULT_MACHINE_SLICE, HostBackend, VCpuSample
 from repro.faults.plan import FaultPlan
+from repro.obs.logging import get_logger
+
+log = get_logger("repro.faults")
 
 
 class ControllerCrash(RuntimeError):
@@ -89,6 +92,10 @@ class FaultInjector(HostBackend):
 
     def _fire(self, kind: str, target: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
+        log.debug(
+            "fault fired: %s", kind,
+            extra={"target": target, "tick": self.tick_index},
+        )
 
     # -- counted primitives, perturbed -----------------------------------------
 

@@ -1,0 +1,50 @@
+"""Observability for the control plane: spans, ledger, flight recorder.
+
+Four independent pillars behind one hub (:class:`Observability`):
+
+* :mod:`repro.obs.tracing` — per-tick span trees + Chrome/Perfetto export;
+* :mod:`repro.obs.ledger` — per-``cpu.max``-write decision provenance
+  (``repro explain``);
+* :mod:`repro.obs.flight_recorder` — black-box ring of the last N ticks,
+  auto-dumped on invariant violations and crashes, convertible to a
+  replayable checking trace;
+* :mod:`repro.obs.logging` — structured stdlib logging +
+  :mod:`repro.obs.metrics_server` for live ``/metrics`` scrapes.
+
+Everything is stdlib-only and off the controller's hot path; see
+``docs/observability.md``.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.flight_recorder import FlightRecorder, flight_dump_to_trace
+from repro.obs.hub import Observability
+from repro.obs.ledger import DecisionLedger, explain, recompute_allocation
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics_server import MetricsServer
+from repro.obs.tracing import (
+    JsonlSink,
+    RingSink,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "DecisionLedger",
+    "FlightRecorder",
+    "flight_dump_to_trace",
+    "MetricsServer",
+    "Span",
+    "Tracer",
+    "RingSink",
+    "JsonlSink",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "configure_logging",
+    "get_logger",
+    "explain",
+    "recompute_allocation",
+]

@@ -1,0 +1,100 @@
+"""Structured logging for the control plane.
+
+The whole package logs through stdlib :mod:`logging` under the
+``repro.*`` namespace — no third-party dependency.  By default the
+library is silent (a ``NullHandler`` on the ``repro`` root stops the
+interpreter's last-resort stderr handler) while still propagating to
+any root handler the embedding application configures.
+
+:func:`configure_logging` is the one-call setup used by the CLI
+(``--log-level`` / ``--log-format``): console format for humans, JSON
+lines (one object per record, ``extra=`` fields included) for log
+shippers.
+
+    >>> log = get_logger("repro.controller")
+    >>> log.warning("vcpu degraded", extra={"path": "/machine.slice/vm0/vcpu0"})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional
+
+#: Attributes every LogRecord carries; anything else came in via
+#: ``extra=`` and belongs in the structured payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+_root = logging.getLogger("repro")
+_root.addHandler(logging.NullHandler())
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, ``extra=`` fields lifted to the top."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The module-level logger for ``name`` (a ``repro.*`` dotted path)."""
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "info",
+    fmt: str = "console",
+    stream=None,
+) -> logging.Handler:
+    """Wire a real handler onto the ``repro`` logger tree.
+
+    ``fmt`` is ``"console"`` (human one-liners) or ``"json"`` (one
+    object per line).  Replaces any handler a previous call installed,
+    so the CLI can be re-entered in-process (tests do).  Returns the
+    installed handler.
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    if fmt not in ("console", "json"):
+        raise ValueError(f"unknown log format {fmt!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        ))
+    for old in list(_root.handlers):
+        if not isinstance(old, logging.NullHandler):
+            _root.removeHandler(old)
+    _root.addHandler(handler)
+    _root.setLevel(numeric)
+    # The configured handler is authoritative; don't double-print
+    # through whatever the embedding application hung on the root.
+    _root.propagate = False
+    return handler
+
+
+def reset_logging() -> None:
+    """Return to the library default: silent, propagating. (For tests.)"""
+    for old in list(_root.handlers):
+        if not isinstance(old, logging.NullHandler):
+            _root.removeHandler(old)
+    _root.setLevel(logging.NOTSET)
+    _root.propagate = True

@@ -1,0 +1,74 @@
+"""Live ``/metrics`` scrape endpoint (stdlib ``http.server`` only).
+
+:class:`MetricsServer` serves whatever Prometheus exposition text a
+``render`` callable produces — typically a closure over
+:func:`repro.core.metrics_export.render_controller` for one controller,
+or a combined controller + node-manager render through one shared
+:class:`~repro.core.metrics_export.MetricsBuffer`.  Threaded, daemonic,
+and silent (the per-request stderr log is suppressed), so a simulation
+loop can keep ticking while Prometheus scrapes.
+
+``repro serve-metrics`` is the CLI front end; its ``--self-test`` mode
+performs one real loopback scrape and asserts on the payload.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+#: The Prometheus text exposition content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves ``GET /metrics`` from a render callable."""
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.render = render
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.rstrip("/") not in ("/metrics", ""):
+                    self.send_error(404, "try /metrics")
+                    return
+                try:
+                    body = outer.render().encode()
+                except Exception as exc:  # render must never kill the server
+                    self.send_error(500, f"render failed: {exc}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # keep scrapes off stderr
+
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(timeout=5)

@@ -29,6 +29,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.api import Controller
 from repro.core.backend import BackendStats
 from repro.core.controller import ControllerReport, StageTimings
+from repro.obs.logging import get_logger
+
+log = get_logger("repro.node_manager")
 
 
 class TickResult(Dict[str, ControllerReport]):
@@ -96,6 +99,13 @@ class NodeManager:
         old = self.controllers[node_id]
         self.controllers[node_id] = controller
         self.last_errors.pop(node_id, None)
+        log.info(
+            "node controller replaced",
+            extra={
+                "node": node_id,
+                "errors": self.error_counts.get(node_id, 0),
+            },
+        )
         return old
 
     @property
@@ -157,6 +167,20 @@ class NodeManager:
         result.errors[node_id] = exc
         self.last_errors[node_id] = exc
         self.error_counts[node_id] = self.error_counts.get(node_id, 0) + 1
+        log.error(
+            "node tick failed: %s: %s", type(exc).__name__, exc,
+            extra={
+                "node": node_id,
+                "errors": self.error_counts[node_id],
+            },
+        )
+        # Duck-typed flight-recorder trigger: any controller carrying an
+        # observability hub gets a black-box dump of its final ticks
+        # (idempotent — the controller's own wrapper usually dumped
+        # already; the recorder dedupes per newest frame).
+        obs = getattr(self.controllers.get(node_id), "obs", None)
+        if obs is not None:
+            obs.on_node_error(node_id, exc)
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:

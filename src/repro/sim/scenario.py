@@ -184,6 +184,11 @@ class Scenario:
             result.monitor_overhead_s = float(
                 np.mean([r.timings.monitor for r in ctrl.reports])
             )
+        obs = getattr(ctrl, "obs", None)
+        if obs is not None:
+            # Flush span/ledger sinks and write the Chrome trace export;
+            # the controller (and hub) die with this run.
+            obs.close()
         return result
 
 

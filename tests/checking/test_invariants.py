@@ -56,6 +56,7 @@ class TestCleanRuns:
             "eq2_guarantee",
             "eq5_base_cap",
             "eq6_market",
+            "free_distribution",
             "budget",
             "ledger",
             "enforcement",

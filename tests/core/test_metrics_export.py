@@ -92,3 +92,122 @@ class TestExport:
         report.wallets = {'we"ird\nname': 5.0}
         out = render_report(report)
         assert 'vm="we\\"ird\\nname"' in out
+
+    def test_backslash_in_label_escaped(self):
+        report = ControllerReport(t=0.0)
+        report.wallets = {"back\\slash": 1.0}
+        out = render_report(report)
+        assert 'vm="back\\\\slash"' in out
+
+
+def families_in(text):
+    """(family, [sample line indices]) in order of first appearance."""
+    order, samples = [], {}
+    for i, line in enumerate(text.splitlines()):
+        if line.startswith("# "):
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in samples:
+                name = name[: -len(suffix)]
+                break
+        if name not in samples:
+            order.append(name)
+            samples[name] = []
+        samples[name].append(i)
+    return order, samples
+
+
+class TestMetricsBuffer:
+    def test_help_and_type_exactly_once_per_family(self):
+        from repro.core.metrics_export import MetricsBuffer
+
+        buf = MetricsBuffer()
+        buf.family("demo_total", "counter", "A demo counter.")
+        buf.add("demo_total", 1, op="a")
+        # Re-declaration (second renderer, same family) must not
+        # duplicate the header or clobber the first help string.
+        buf.family("demo_total", "counter", "Different help text.")
+        buf.add("demo_total", 2, op="b")
+        out = buf.text()
+        assert out.count("# HELP demo_total") == 1
+        assert out.count("# TYPE demo_total") == 1
+        assert "A demo counter." in out
+        assert "Different help text." not in out
+
+    def test_interleaved_adds_render_contiguous(self):
+        from repro.core.metrics_export import MetricsBuffer
+
+        buf = MetricsBuffer()
+        buf.family("aaa", "gauge", "a")
+        buf.family("bbb", "gauge", "b")
+        buf.add("aaa", 1, k="1")
+        buf.add("bbb", 1)
+        buf.add("aaa", 2, k="2")
+        order, samples = families_in(buf.text())
+        assert order == ["aaa", "bbb"]
+        for indices in samples.values():
+            assert indices == list(range(indices[0], indices[-1] + 1))
+
+    def test_undeclared_family_rejected(self):
+        from repro.core.metrics_export import MetricsBuffer
+
+        buf = MetricsBuffer()
+        with pytest.raises(KeyError):
+            buf.add("never_declared", 1)
+
+    def test_help_text_escaping(self):
+        from repro.core.metrics_export import _escape_help
+
+        assert _escape_help("line\nbreak \\ slash") == "line\\nbreak \\\\ slash"
+
+
+class TestSpanHistogramFamily:
+    def test_histogram_shape(self):
+        from repro.core.metrics_export import render_span_seconds
+        from repro.obs.tracing import BUCKET_BOUNDS, Tracer
+
+        tracer = Tracer()
+        for us in (5.0, 50.0, 200000.0):
+            tracer.record(
+                "stage:auction", trace_id=0, parent_id=None,
+                start_us=0.0, duration_us=us,
+            )
+        out = render_span_seconds(tracer)
+        assert out.count("# TYPE vfreq_span_seconds histogram") == 1
+        buckets = re.findall(
+            r'vfreq_span_seconds_bucket\{le="([^"]+)",stage="auction"\} (\d+)',
+            out,
+        )
+        assert len(buckets) == len(BUCKET_BOUNDS) + 1
+        counts = [int(c) for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative le semantics
+        assert buckets[-1][0] == "+Inf"
+        assert counts[-1] == 3
+        assert 'vfreq_span_seconds_count{stage="auction"} 3' in out
+        m = re.search(r'vfreq_span_seconds_sum\{stage="auction"\} ([0-9.e-]+)', out)
+        assert float(m.group(1)) == pytest.approx(0.200055)
+
+
+class TestClusterRendering:
+    def test_node_labels_keep_families_collision_free(self):
+        from repro.core.metrics_export import render_cluster
+        from repro.sim.node_manager import NodeManager
+
+        manager = NodeManager(parallel=False)
+        for node_id in ("n0", "n1"):
+            manager.add_node(node_id, warmed_controller())
+        manager.tick(0.0)
+        out = render_cluster(manager)
+        # Shared families render one header with contiguous samples...
+        order, samples = families_in(out)
+        for family, indices in samples.items():
+            assert out.count(f"# HELP {family} ") == 1, family
+            assert out.count(f"# TYPE {family} ") == 1, family
+            assert indices == list(range(indices[0], indices[-1] + 1)), family
+        # ...and per-node series are distinguished by the node label.
+        for node_id in ("n0", "n1"):
+            assert re.search(
+                rf'vfreq_market_initial_cycles\{{node="{node_id}"\}} ', out
+            ), node_id
+        assert "vfreq_nodes_managed 2" in out

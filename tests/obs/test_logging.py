@@ -1,0 +1,96 @@
+"""Structured logging: JSON records, configuration, library silence."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    yield
+    reset_logging()
+
+
+class TestJsonFormatter:
+    def test_extra_fields_lift_to_top_level(self):
+        record = logging.LogRecord(
+            "repro.controller", logging.WARNING, __file__, 1,
+            "vcpu %s degraded", ("0",), None,
+        )
+        record.path = "/machine.slice/vm-0/vcpu0"
+        record.tick = 7
+        payload = json.loads(JsonFormatter().format(record))
+        assert payload["msg"] == "vcpu 0 degraded"
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.controller"
+        assert payload["path"] == "/machine.slice/vm-0/vcpu0"
+        assert payload["tick"] == 7
+
+    def test_exception_included(self):
+        try:
+            raise ValueError("nope")
+        except ValueError:
+            record = logging.LogRecord(
+                "repro", logging.ERROR, __file__, 1, "bad", (), True
+            )
+            import sys
+
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JsonFormatter().format(record))
+        assert "ValueError: nope" in payload["exc"]
+
+
+class TestConfigureLogging:
+    def test_json_stream_end_to_end(self):
+        stream = io.StringIO()
+        configure_logging("debug", "json", stream=stream)
+        get_logger("repro.faults").debug(
+            "fault fired: %s", "freeze", extra={"target": "/x", "tick": 3}
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["msg"] == "fault fired: freeze"
+        assert payload["target"] == "/x"
+        assert payload["tick"] == 3
+
+    def test_reconfigure_replaces_handler(self):
+        a = configure_logging("info", "console", stream=io.StringIO())
+        b = configure_logging("info", "console", stream=io.StringIO())
+        root = logging.getLogger("repro")
+        real = [
+            h for h in root.handlers
+            if not isinstance(h, logging.NullHandler)
+        ]
+        assert real == [b]
+        assert a not in root.handlers
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("warning", "console", stream=stream)
+        log = get_logger("repro.something")
+        log.info("quiet")
+        log.warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "loud" in out
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("shout")
+        with pytest.raises(ValueError, match="unknown log format"):
+            configure_logging("info", "xml")
+
+    def test_reset_restores_silent_default(self):
+        configure_logging("debug", "console", stream=io.StringIO())
+        reset_logging()
+        root = logging.getLogger("repro")
+        assert root.propagate is True
+        assert all(isinstance(h, logging.NullHandler) for h in root.handlers)

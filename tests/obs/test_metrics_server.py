@@ -1,0 +1,70 @@
+"""Loopback scrapes of the /metrics endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.metrics_export import render_controller
+from repro.obs.metrics_server import CONTENT_TYPE, MetricsServer
+from tests.obs.conftest import drive_host
+
+
+@pytest.fixture
+def server():
+    srv = MetricsServer(lambda: "demo_metric 1\n")
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def get(srv, path):
+    base = srv.address.rsplit("/metrics", 1)[0]
+    return urllib.request.urlopen(f"{base}{path}", timeout=5)
+
+
+class TestEndpoint:
+    def test_scrape_ok(self, server):
+        resp = get(server, "/metrics")
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == CONTENT_TYPE
+        assert resp.read().decode() == "demo_metric 1\n"
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/anything-else")
+        assert excinfo.value.code == 404
+
+    def test_render_failure_is_500(self):
+        def broken():
+            raise RuntimeError("render exploded")
+
+        srv = MetricsServer(broken)
+        srv.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(srv, "/metrics")
+            assert excinfo.value.code == 500
+        finally:
+            srv.stop()
+
+
+class TestLiveController:
+    def test_scrape_of_observed_controller(self):
+        _, ctrl, obs = drive_host(5)
+        srv = MetricsServer(lambda: render_controller(ctrl))
+        srv.start()
+        try:
+            body = get(srv, "/metrics").read().decode()
+        finally:
+            srv.stop()
+        assert "vfreq_vcpu_consumed_cycles" in body
+        assert "vfreq_stage_seconds" in body
+        # The span histograms ride along because the hub is attached.
+        assert 'vfreq_span_seconds_bucket{le="+Inf",stage="auction"} 5' in body
+        for family in ("vfreq_span_seconds",):
+            help_lines = [
+                l for l in body.splitlines()
+                if l.startswith(f"# HELP {family} ")
+            ]
+            assert len(help_lines) == 1
