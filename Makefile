@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-obs-smoke obs-smoke examples figures clean
+.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke obs-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -47,6 +47,14 @@ bench-faults-smoke:
 # override the tolerance with PERF_TOLERANCE=0.40 etc.)
 bench-perf-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_scaling.py -k engine_speedup --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
+
+# quick bulk-engine + sharded control-plane bench (CI gates: three-way
+# report bit-identity, the bulk full tick and per-stage costs — stages 1
+# and 6 included — within tolerance of the committed baseline, and the
+# dense-host single-process tick inside one 1 s control period)
+bench-bulk-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_bulk.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
 
 # quick observability-overhead A/B (CI gate: a disabled hub stays

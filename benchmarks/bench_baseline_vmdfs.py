@@ -60,7 +60,7 @@ def _run_vmdfs():
     for k in range(int(RUN_S * 2)):
         sim.run(0.5)
         if k % 2 == 1:
-            vmdfs.tick(vms, dt=1.0)
+            vmdfs.tick(float(k // 2 + 1))
     return node, vms
 
 

@@ -85,7 +85,7 @@ def generate_trace(
     engine: str = "both",
 ) -> Trace:
     """Deterministically generate one fuzz scenario for ``seed``."""
-    if engine not in ENGINES + ("both",):
+    if engine not in ENGINES + ("both", "all"):
         raise ValueError(f"unknown engine {engine!r}")
     rng = random.Random(seed)
     plan = _fault_plan_dict(rng, ticks) if faults else None

@@ -53,7 +53,7 @@ from repro.virt.template import VMTemplate
 TRACE_VERSION = 1
 
 #: Engines a trace can run under.
-ENGINES: Tuple[str, ...] = ("scalar", "vectorized")
+ENGINES: Tuple[str, ...] = ("scalar", "vectorized", "bulk")
 
 
 @dataclass
@@ -314,17 +314,25 @@ def replay(
     stop_at_first: bool = True,
     collect_reports: bool = False,
 ) -> ReplayResult:
-    """Replay a trace under one or both engines, oracles armed.
+    """Replay a trace under one or more engines, oracles armed.
 
-    ``engines`` defaults to the header's ``engine`` field (``"both"``
-    runs scalar and vectorised in lockstep with cross-engine identity
-    checked each tick).  With ``stop_at_first`` (the default) replay
-    returns at the first violating tick — what the shrinker's predicate
-    wants; pass ``False`` to collect everything.
+    ``engines`` defaults to the header's ``engine`` field: ``"both"``
+    runs scalar and vectorised in lockstep (the historical pairing —
+    old traces keep their meaning), ``"all"`` runs every engine
+    including bulk, and with two or more replicas cross-engine
+    bit-identity is checked each tick, first replica versus each other.
+    With ``stop_at_first`` (the default) replay returns at the first
+    violating tick — what the shrinker's predicate wants; pass
+    ``False`` to collect everything.
     """
     if engines is None:
         requested = trace.header.get("engine", "both")
-        engines = ENGINES if requested == "both" else (requested,)
+        if requested == "both":
+            engines = ("scalar", "vectorized")
+        elif requested == "all":
+            engines = ENGINES
+        else:
+            engines = (requested,)
     engines = tuple(engines)
     for engine in engines:
         if engine not in ENGINES:
@@ -347,11 +355,12 @@ def replay(
             violations.extend(tick_violations)
             if collect_reports:
                 reports[replica.config.engine].append(report)
-        if len(tick_reports) == 2:
-            violations.extend(_compare_reports(
-                tick_reports[0], tick_reports[1],
-                (engines[0], engines[1]), t,
-            ))
+        if len(tick_reports) >= 2:
+            for other, other_report in enumerate(tick_reports[1:], start=1):
+                violations.extend(_compare_reports(
+                    tick_reports[0], other_report,
+                    (engines[0], engines[other]), t,
+                ))
         if violations and stop_at_first:
             break
     return ReplayResult(

@@ -19,6 +19,12 @@ from typing import List, Optional
 
 from repro.sim.report import render_table, scores_rows, series_to_rows
 
+#: Single-engine choices (controller hot-path implementations).
+_ENGINE_CHOICES = ("scalar", "vectorized", "bulk")
+#: Multi-engine selectors for the checking tools: ``both`` keeps its
+#: historical meaning (scalar + vectorized), ``all`` adds bulk.
+_ENGINE_MULTI = _ENGINE_CHOICES + ("both", "all")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -73,9 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="thread-pool size for the node-manager control plane")
     p5.add_argument("--serial", action="store_true",
                     help="tick nodes one by one instead of in parallel")
-    p5.add_argument("--invariants", action="store_true",
-                    help="run the paper-equation invariant oracles inline "
-                         "on every node's controller")
+    _add_controller_flags(p5)
 
     p6 = sub.add_parser(
         "check",
@@ -92,10 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="first seed (default 0)")
     cf.add_argument("--ticks", type=int, default=200, metavar="T",
                     help="controller ticks per scenario (default 200)")
-    cf.add_argument("--engine", choices=("scalar", "vectorized", "both"),
+    cf.add_argument("--engine", choices=_ENGINE_MULTI,
                     default="both",
-                    help="engine(s) to replay under (default both, "
-                         "with cross-engine bit-identity checked)")
+                    help="engine(s) to replay under (default both = "
+                         "scalar+vectorized; 'all' adds bulk; with two "
+                         "or more, cross-engine bit-identity is checked)")
     cf.add_argument("--no-faults", action="store_true",
                     help="generate scenarios without fault schedules")
     cf.add_argument("--repro-dir", default=None, metavar="DIR",
@@ -106,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a JSONL trace (e.g. a committed repro) with oracles armed",
     )
     cr.add_argument("trace", metavar="FILE", help="JSONL trace file")
-    cr.add_argument("--engine", choices=("scalar", "vectorized", "both"),
+    cr.add_argument("--engine", choices=_ENGINE_MULTI,
                     default=None,
                     help="override the trace header's engine selection")
 
@@ -147,23 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
     p9.add_argument("--ticks", type=int, default=10,
                     help="controller ticks to pre-run before serving")
     p9.add_argument("--seed", type=int, default=42)
-    p9.add_argument("--obs-dir", default=None, metavar="DIR",
-                    help="also write span/ledger JSONL artefacts into DIR")
     p9.add_argument("--self-test", action="store_true",
                     help="bind an ephemeral port, perform one real "
                          "loopback scrape, validate the payload and exit")
+    _add_controller_flags(p9)
 
     return parser
 
 
 def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
-    """Controller knobs shared by the evaluation commands.
+    """Controller knobs shared by every command that builds a config
+    (eval1, eval2, operator, serve-metrics) — defined once, here.
 
     ``None`` defaults mean "keep the paper's evaluation setting"; any
     value given is routed through
-    :meth:`~repro.core.config.ControllerConfig.with_overrides`, so an
-    invalid combination fails with the config validation error rather
-    than deep inside a run.
+    :meth:`~repro.core.config.ControllerConfig.with_overrides` (via
+    :func:`_build_config`), so an invalid combination fails with the
+    config validation error rather than deep inside a run.
     """
     parser.add_argument("--period", type=float, default=None, metavar="S",
                         help="controller loop period in seconds (paper: 1.0)")
@@ -173,12 +178,18 @@ def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--auction-priority", choices=("credits", "frequency"),
                         default=None,
                         help="auction shopping order (paper: credits)")
-    parser.add_argument("--engine", choices=("scalar", "vectorized"),
+    parser.add_argument("--engine", choices=_ENGINE_CHOICES,
                         default=None,
                         help="controller hot-path implementation: the "
-                             "structure-of-arrays fast path (default) or "
-                             "the per-vCPU scalar oracle; reports are "
-                             "bit-identical either way")
+                             "structure-of-arrays fast path (default), "
+                             "the bulk array-backend path on top of it, "
+                             "or the per-vCPU scalar oracle; reports are "
+                             "bit-identical all three ways")
+    parser.add_argument("--set", dest="config_sets", action="append",
+                        default=[], metavar="KEY=VALUE",
+                        help="override any ControllerConfig field by name "
+                             "(repeatable; values are parsed as Python "
+                             "literals, unknown keys are rejected)")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="inject faults from a JSON FaultPlan file "
                              "(chaos drill; see docs/faults.md)")
@@ -229,6 +240,56 @@ def _config_overrides(args) -> dict:
 
         overrides["observability"] = ObsConfig(out_dir=args.obs_dir)
     return overrides
+
+
+def _parse_config_sets(pairs: List[str]) -> dict:
+    """``--set KEY=VALUE`` pairs as an override dict.
+
+    Values are parsed as Python literals (``--set period_s=2.0``,
+    ``--set control_enabled=False``) with a plain-string fallback
+    (``--set engine=bulk``).  Key validity is *not* checked here —
+    :meth:`ControllerConfig.with_overrides` rejects unknown keys with
+    the full field list in hand.
+    """
+    import ast
+
+    overrides = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"repro: --set expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _build_config(args, base=None):
+    """The one path from CLI flags to a validated ControllerConfig.
+
+    Merges the dedicated flags (:func:`_config_overrides`) with any
+    ``--set`` pairs and routes everything through
+    :meth:`ControllerConfig.with_overrides`.  Returns ``base``
+    unchanged (possibly ``None``) when no override was given, so
+    callers that treat "no config" specially keep doing so.  Unknown
+    keys and invalid combinations exit with a clear message instead of
+    a traceback.
+    """
+    overrides = _config_overrides(args)
+    overrides.update(_parse_config_sets(getattr(args, "config_sets", [])))
+    if not overrides:
+        return base
+    from repro.core.config import ControllerConfig
+
+    config = base if base is not None else ControllerConfig.paper_evaluation()
+    try:
+        return config.with_overrides(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"repro: invalid controller configuration: {exc}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -290,11 +351,7 @@ def _cmd_eval1(args) -> int:
         dt=args.dt,
         run_to_completion=args.scores,
     )
-    overrides = _config_overrides(args)
-    if overrides:
-        scenario.controller_config = scenario.controller_config.with_overrides(
-            **overrides
-        )
+    scenario.controller_config = _build_config(args, scenario.controller_config)
     for label, controlled in _configs(args.config):
         result = scenario.run(controlled=controlled)
         _print_freq_tables(
@@ -315,11 +372,7 @@ def _cmd_eval2(args) -> int:
     scenario = eval2_chetemi(
         duration=args.duration, time_scale=args.time_scale, dt=args.dt
     )
-    overrides = _config_overrides(args)
-    if overrides:
-        scenario.controller_config = scenario.controller_config.with_overrides(
-            **overrides
-        )
+    scenario.controller_config = _build_config(args, scenario.controller_config)
     for _, controlled in _configs(args.config):
         result = scenario.run(controlled=controlled)
         _print_freq_tables(
@@ -400,7 +453,6 @@ def _cmd_overhead(args) -> int:
 
 
 def _cmd_operator(args) -> int:
-    from repro.core.config import ControllerConfig
     from repro.hw.cluster import Cluster
     from repro.hw.nodespecs import CHETEMI
     from repro.placement.constraints import (
@@ -435,11 +487,7 @@ def _cmd_operator(args) -> int:
             enforce_admission=admission,
             parallel=not args.serial,
             max_workers=args.workers,
-            controller_config=(
-                ControllerConfig.paper_evaluation(check_invariants=True)
-                if args.invariants
-                else None
-            ),
+            controller_config=_build_config(args),
         )
         outcome = CloudOperator(sim, constraint, workload_for).run(
             events, horizon_s=args.horizon
@@ -507,7 +555,12 @@ def _cmd_check_replay(args) -> int:
     if args.engine is not None:
         from repro.checking.trace import ENGINES
 
-        engines = ENGINES if args.engine == "both" else (args.engine,)
+        if args.engine == "both":
+            engines = ("scalar", "vectorized")
+        elif args.engine == "all":
+            engines = ENGINES
+        else:
+            engines = (args.engine,)
     result = replay(trace, engines=engines, stop_at_first=False)
     for violation in result.violations:
         print(violation)
@@ -586,10 +639,11 @@ def _cmd_serve_metrics(args) -> int:
     )
     node = Node(spec, seed=args.seed)
     hv = Hypervisor(node)
-    cfg = ControllerConfig.paper_evaluation(
+    base = ControllerConfig.paper_evaluation(
         observability=ObsConfig(out_dir=args.obs_dir),
         check_invariants=True,
     )
+    cfg = _build_config(args, base)
     ctrl = VirtualFrequencyController(
         node.fs, node.procfs, node.sysfs,
         num_cpus=spec.logical_cpus, fmax_mhz=spec.fmax_mhz, config=cfg,

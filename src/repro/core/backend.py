@@ -20,6 +20,17 @@ against one node's kernel surfaces and batches them:
 * :meth:`write_caps` — coalesced ``cpu.max`` (v1: quota/period) writes
   that skip values already in place, so a converged controller writes
   nothing at all.
+* :meth:`sample_all` / :meth:`apply_caps` — the bulk-array spelling of
+  the same two passes: one :class:`SampleBatch` of NumPy columns in a
+  stable slot order (the cached topology order, shared with
+  :class:`~repro.core.soa.VcpuTable`), and a cap write pass driven by a
+  dirty mask so only changed quotas touch the kernel.  The fast path
+  reads the cgroup/proc/sysfs surfaces through cached per-slot handles
+  — the simulated equivalent of an io_uring-batched read — with no
+  per-vCPU string parse; it degrades to the list-based scan whenever
+  the topology is unknown, the cgroup hierarchy is v1, or a fault
+  plan is armed (faults inject at the per-file seam, which the handle
+  path would bypass).
 * per-batch wall-time and syscall-count stats
   (:attr:`HostBackend.stats`, :attr:`last_sample_batch`,
   :attr:`last_write_batch`) so the saving is measurable, not asserted.
@@ -38,7 +49,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, fields
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cgroups.cpu import parse_cpu_stat
 from repro.cgroups.fs import CgroupFS, CgroupVersion
@@ -73,6 +86,76 @@ class VCpuSlot:
     vcpu_index: int
     cgroup_path: str
     tid: int
+
+
+@dataclass
+class SampleBatch:
+    """One monitoring pass as parallel NumPy columns (bulk stage 1).
+
+    Rows follow the backend's cached topology order and stay stable
+    tick over tick while the VM set is unchanged — ``paths`` is the
+    *same list object* across such ticks, so callers may key caches on
+    its identity.  Values are bit-identical to the
+    :class:`VCpuSample` list of :meth:`HostBackend.read_vcpu_samples`
+    on the same node state (proved by the bulk parity tests).
+    """
+
+    period_s: float
+    paths: List[str]
+    vm_names: List[str]
+    vcpu_indices: np.ndarray  # int64
+    tids: np.ndarray  # int64
+    usage_usec: np.ndarray  # float64, absolute counters
+    consumed: np.ndarray  # float64, u_{i,j,t} µs over the period
+    cores: np.ndarray  # int64
+    core_freq_mhz: np.ndarray  # float64
+    vfreq_mhz: np.ndarray  # float64
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def to_samples(self, indices: Optional[Sequence[int]] = None) -> List[VCpuSample]:
+        """Materialise (a subset of) the batch as VCpuSample objects."""
+        rows = range(len(self.paths)) if indices is None else indices
+        return [
+            VCpuSample(
+                vm_name=self.vm_names[i],
+                vcpu_index=int(self.vcpu_indices[i]),
+                cgroup_path=self.paths[i],
+                tid=int(self.tids[i]),
+                consumed_cycles=float(self.consumed[i]),
+                core=int(self.cores[i]),
+                core_freq_mhz=float(self.core_freq_mhz[i]),
+                vfreq_mhz=float(self.vfreq_mhz[i]),
+            )
+            for i in rows
+        ]
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[VCpuSample], period_s: float
+    ) -> "SampleBatch":
+        n = len(samples)
+        return cls(
+            period_s=period_s,
+            paths=[s.cgroup_path for s in samples],
+            vm_names=[s.vm_name for s in samples],
+            vcpu_indices=np.fromiter(
+                (s.vcpu_index for s in samples), dtype=np.int64, count=n
+            ),
+            tids=np.fromiter((s.tid for s in samples), dtype=np.int64, count=n),
+            usage_usec=np.zeros(n, dtype=np.float64),
+            consumed=np.fromiter(
+                (s.consumed_cycles for s in samples), dtype=np.float64, count=n
+            ),
+            cores=np.fromiter((s.core for s in samples), dtype=np.int64, count=n),
+            core_freq_mhz=np.fromiter(
+                (s.core_freq_mhz for s in samples), dtype=np.float64, count=n
+            ),
+            vfreq_mhz=np.fromiter(
+                (s.vfreq_mhz for s in samples), dtype=np.float64, count=n
+            ),
+        )
 
 
 @dataclass
@@ -199,6 +282,12 @@ class HostBackend:
         self._topology_vms: Optional[List[str]] = None
         self._prev_usage: Dict[str, float] = {}
         self._last_cap: Dict[str, Tuple[int, int]] = {}
+        #: Bumped whenever cap state is dropped out of band (``uncap``,
+        #: ``forget_vcpu``) — callers tracking their own "quota already
+        #: in force" view (the bulk dirty mask) must treat every row as
+        #: dirty after the epoch moves.
+        self.cap_epoch = 0
+        self._bulk_handles: Optional[Dict[str, Any]] = None
 
     # -- counted primitives -----------------------------------------------------
 
@@ -228,6 +317,7 @@ class HostBackend:
         """Drop the cached tid→cgroup map (call on VM churn)."""
         self._topology = None
         self._topology_vms = None
+        self._bulk_handles = None
 
     def forget_usage(self, vcpu_path: str) -> None:
         """Drop the usage baseline for a vCPU cgroup.
@@ -244,6 +334,29 @@ class HostBackend:
         """Drop all cached state (usage baseline + cap) for a vCPU."""
         self.forget_usage(vcpu_path)
         self._last_cap.pop(vcpu_path, None)
+        self.cap_epoch += 1
+
+    # -- batch-entry hooks (fault-injection seam) -------------------------------
+
+    def _begin_sample_batch(self, period_s: float) -> float:
+        """Called exactly once when a monitoring batch starts — whether
+        the caller entered through :meth:`read_vcpu_samples` or
+        :meth:`sample_all`.  Subclasses (the fault injector) advance
+        their tick clock and perturb the effective period here; the
+        base backend passes the period through unchanged.
+        """
+        return period_s
+
+    def _begin_write_batch(self) -> None:
+        """Called exactly once when a cap-write batch starts
+        (:meth:`write_caps` or :meth:`apply_caps`)."""
+
+    def _direct_io_ok(self) -> bool:
+        """Whether the handle-based bulk fast path may bypass the
+        per-file primitives.  The fault injector vetoes this whenever a
+        plan is armed — faults hit the per-file seam, which cached
+        handles would never consult."""
+        return True
 
     # -- batched monitoring -----------------------------------------------------
 
@@ -256,6 +369,11 @@ class HostBackend:
         such vCPUs are silently skipped, exactly as a production monitor
         must.
         """
+        period_s = self._begin_sample_batch(period_s)
+        return self._read_samples(period_s)
+
+    def _read_samples(self, period_s: float) -> List[VCpuSample]:
+        """The timed body of :meth:`read_vcpu_samples` (hook already run)."""
         t0 = time.perf_counter()
         before = self.stats.copy()
         try:
@@ -435,6 +553,161 @@ class HostBackend:
         # KVM vCPU cgroups hold exactly one thread (paper §III-B1).
         return int(content[0])
 
+    # -- bulk-array monitoring --------------------------------------------------
+
+    def sample_all(self, period_s: float = 1.0) -> SampleBatch:
+        """One monitoring pass as a :class:`SampleBatch` of columns.
+
+        Identical values to :meth:`read_vcpu_samples` on the same node
+        state.  The fast path amortises the per-vCPU work into a few
+        array operations over cached cgroup/proc handles; whenever the
+        topology is unknown (first tick, churn, teardown race), the
+        hierarchy is v1, or direct I/O is vetoed (armed fault plan),
+        the batch is built from the list-based scan instead.
+        """
+        period_s = self._begin_sample_batch(period_s)
+        if (
+            self.batched
+            and self.fs.version is CgroupVersion.V2
+            and self.procfs is not None
+            and self.sysfs is not None
+            and self._direct_io_ok()
+        ):
+            batch = self._sample_all_fast(period_s)
+            if batch is not None:
+                return batch
+        return SampleBatch.from_samples(self._read_samples(period_s), period_s)
+
+    def _sample_all_fast(self, period_s: float) -> Optional[SampleBatch]:
+        """Array sampling over cached handles; ``None`` → use the scan."""
+        topo = self._topology
+        if topo is None or not self.fs.exists(self.machine_slice):
+            return None
+        t0 = time.perf_counter()
+        before = self.stats.copy()
+        # Churn guard, same single readdir as the list path.
+        if self.listdir(self.machine_slice) != self._topology_vms:
+            self.invalidate()
+            return None
+        cache = self._bulk_handles
+        if cache is None or cache["topo"] is not topo:
+            cache = self._build_bulk_handles(topo)
+            if cache is None:
+                self.invalidate()
+                return None
+            self._bulk_handles = cache
+        elif not self._validate_bulk_handles(cache):
+            # A cgroup was torn down (or recreated under the same name)
+            # since the handles were cached: re-resolve through the
+            # path-based scan so teardown races behave identically.
+            self.invalidate()
+            return None
+        n = len(topo)
+        stat = self.procfs.stat
+        try:
+            usage = np.fromiter(
+                (c.usage_usec for c in cache["cpus"]), dtype=np.float64, count=n
+            )
+            cores = np.fromiter(
+                (stat(t).processor for t in cache["tids_list"]),
+                dtype=np.int64,
+                count=n,
+            )
+        except ProcessLookupError:
+            # A vCPU thread exited between scans; nothing committed yet,
+            # so the list path resamples and skips it exactly as usual.
+            self.invalidate()
+            return None
+        self.stats.fs_reads += n
+        self.stats.proc_reads += n
+        prev = cache["prev"]
+        prev_eff = np.where(np.isnan(prev), usage, prev)
+        consumed = usage - prev_eff
+        np.maximum(consumed, 0.0, out=consumed)
+        cache["prev"] = usage
+        self._prev_usage.update(zip(cache["paths"], usage.tolist()))
+        # One frequency read per distinct core, as in the list path.
+        khz_of = np.zeros(int(cores.max()) + 1 if n else 1, dtype=np.float64)
+        for core in np.unique(cores):
+            khz_of[core] = self.core_freq_khz(int(core))
+        core_freq_mhz = khz_of[cores] / 1000.0
+        share = np.minimum(consumed / period_us(period_s), 1.0)
+        batch = SampleBatch(
+            period_s=period_s,
+            paths=cache["paths"],
+            vm_names=cache["vms"],
+            vcpu_indices=cache["vcpu_idx"],
+            tids=cache["tids"],
+            usage_usec=usage,
+            consumed=consumed,
+            cores=cores,
+            core_freq_mhz=core_freq_mhz,
+            vfreq_mhz=share * core_freq_mhz,
+        )
+        self.last_sample_batch = BatchStats(
+            seconds=time.perf_counter() - t0, ops=self.stats - before
+        )
+        return batch
+
+    def _build_bulk_handles(self, topo: List[VCpuSlot]) -> Optional[Dict[str, Any]]:
+        """Resolve per-slot cgroup handles once per stable topology."""
+        try:
+            machine = self.fs.node(self.machine_slice)
+        except FileNotFoundError:
+            return None
+        vm_nodes: Dict[str, Any] = {}
+        cpus: List[Any] = []
+        entries: List[Tuple[Any, str, Any]] = []
+        paths: List[str] = []
+        vms: List[str] = []
+        for slot in topo:
+            vm_node = vm_nodes.get(slot.vm_name)
+            if vm_node is None:
+                vm_node = machine.children.get(slot.vm_name)
+                if vm_node is None:
+                    return None
+                vm_nodes[slot.vm_name] = vm_node
+            child = slot.cgroup_path.rsplit("/", 1)[1]
+            vcpu_node = vm_node.children.get(child)
+            if vcpu_node is None:
+                return None
+            cpus.append(vcpu_node.cpu)
+            entries.append((vm_node, child, vcpu_node))
+            paths.append(slot.cgroup_path)
+            vms.append(slot.vm_name)
+        n = len(topo)
+        return {
+            "topo": topo,
+            "vm_items": list(vm_nodes.items()),
+            "entries": entries,
+            "cpus": cpus,
+            "paths": paths,
+            "vms": vms,
+            "vcpu_idx": np.fromiter(
+                (s.vcpu_index for s in topo), dtype=np.int64, count=n
+            ),
+            "tids_list": [s.tid for s in topo],
+            "tids": np.fromiter((s.tid for s in topo), dtype=np.int64, count=n),
+            "prev": np.array(
+                [self._prev_usage.get(p, np.nan) for p in paths], dtype=np.float64
+            ),
+        }
+
+    def _validate_bulk_handles(self, cache: Dict[str, Any]) -> bool:
+        """Cheap identity check that every cached handle is still live."""
+        try:
+            machine = self.fs.node(self.machine_slice)
+        except FileNotFoundError:
+            return False
+        children = machine.children
+        for name, vm_node in cache["vm_items"]:
+            if children.get(name) is not vm_node:
+                return False
+        for vm_node, child, vcpu_node in cache["entries"]:
+            if vm_node.children.get(child) is not vcpu_node:
+                return False
+        return True
+
     # -- coalesced capping writes ----------------------------------------------
 
     def write_cap_one(
@@ -475,6 +748,7 @@ class HostBackend:
         :attr:`last_write_errors` instead of aborting the batch, so the
         controller can retry exactly the failed subset.
         """
+        self._begin_write_batch()
         t0 = time.perf_counter()
         before = self.stats.copy()
         written: Dict[str, int] = {}
@@ -496,6 +770,53 @@ class HostBackend:
         )
         return written
 
+    def apply_caps(
+        self,
+        paths: Sequence[str],
+        quota_us: np.ndarray,
+        dirty: Optional[np.ndarray],
+        enforcement_period_us: int,
+    ) -> Dict[str, int]:
+        """Array spelling of :meth:`write_caps` driven by a dirty mask.
+
+        ``paths``/``quota_us`` are parallel; only rows where ``dirty``
+        is true are written (``dirty=None`` writes every row).  Clean
+        rows count as :attr:`BackendStats.cap_writes_skipped`, exactly
+        like a value-unchanged skip in :meth:`write_cap_one`.  Returns
+        the quotas now in force among the *dirty* rows; vanished
+        cgroups are dropped and, in tolerant mode, transient write
+        errors land in :attr:`last_write_errors` per path.
+        """
+        self._begin_write_batch()
+        t0 = time.perf_counter()
+        before = self.stats.copy()
+        written: Dict[str, int] = {}
+        self.last_write_errors = {}
+        if dirty is None:
+            rows: Sequence[int] = range(len(paths))
+        else:
+            rows = np.flatnonzero(dirty)
+            self.stats.cap_writes_skipped += len(paths) - len(rows)
+        enf = int(enforcement_period_us)
+        for i in rows:
+            path = paths[i]
+            quota = int(quota_us[i])
+            try:
+                self.write_cap_one(path, quota, enf)
+            except FileNotFoundError:
+                continue
+            except OSError as exc:
+                if not self.tolerate_errors:
+                    raise
+                self.stats.write_errors += 1
+                self.last_write_errors[path] = exc
+                continue
+            written[path] = quota
+        self.last_write_batch = BatchStats(
+            seconds=time.perf_counter() - t0, ops=self.stats - before
+        )
+        return written
+
     def uncap(self, vcpu_path: str, enforcement_period_us: int) -> None:
         """Remove a vCPU's bandwidth limit (configuration A / teardown)."""
         if self.fs.version is CgroupVersion.V2:
@@ -505,3 +826,4 @@ class HostBackend:
         else:
             self.write_file(f"{vcpu_path}/cpu.cfs_quota_us", "-1")
         self._last_cap.pop(vcpu_path, None)
+        self.cap_epoch += 1

@@ -51,8 +51,12 @@ class ControllerConfig:
     control_enabled: bool = True
     #: Controller hot-path implementation: ``"vectorized"`` runs stages
     #: 2-5 on the structure-of-arrays fast path (:mod:`repro.core.soa`);
-    #: ``"scalar"`` keeps the per-vCPU dict/object loops as the
-    #: bit-identical oracle.  Same reports either way, different speed.
+    #: ``"bulk"`` additionally drives stages 1 and 6 through the
+    #: backend's array interface (:meth:`~repro.core.backend.
+    #: HostBackend.sample_all` / ``apply_caps``) with dirty-set
+    #: incremental recompute; ``"scalar"`` keeps the per-vCPU
+    #: dict/object loops as the bit-identical oracle.  Same reports
+    #: all three ways, different speed.
     engine: str = "vectorized"
     #: Use the paper-literal Eq. 3 (with S_n = n(n+1)/2) instead of the
     #: standard least-squares slope; kept for comparison, same sign.
@@ -114,9 +118,10 @@ class ControllerConfig:
             raise ValueError("min_cap_frac must be in (0, 1]")
         if self.enforcement_period_us <= 0:
             raise ValueError("enforcement_period_us must be positive")
-        if self.engine not in ("scalar", "vectorized"):
+        if self.engine not in ("scalar", "vectorized", "bulk"):
             raise ValueError(
-                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+                f"engine must be 'scalar', 'vectorized' or 'bulk', "
+                f"got {self.engine!r}"
             )
         if self.auction_priority not in ("credits", "frequency"):
             raise ValueError(

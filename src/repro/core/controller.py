@@ -29,7 +29,7 @@ from repro.core.backend import HostBackend, vm_component
 from repro.core.config import ControllerConfig
 from repro.core.credits import CreditLedger, apply_base_capping
 from repro.core.distribute import distribute_leftovers
-from repro.core.enforcer import Enforcer
+from repro.core.enforcer import MIN_QUOTA_US, Enforcer
 from repro.core.estimator import EstimatorDecision, TrendEstimator
 from repro.core.monitor import Monitor, VCpuSample
 from repro.core.resilience import (
@@ -154,13 +154,22 @@ class VirtualFrequencyController:
         #: is pure in ``period_s * vfreq / fmax``, all fixed between
         #: (re-)registrations, so stage 3 never recomputes it per sample.
         self._guarantee: Dict[str, float] = {}
-        #: Structure-of-arrays state for the vectorized engine (None on
-        #: the scalar oracle path).
+        #: Structure-of-arrays state for the vectorized/bulk engines
+        #: (None on the scalar oracle path).
         self._table: Optional[VcpuTable] = (
             VcpuTable(self.config.history_len)
-            if self.config.engine == "vectorized"
+            if self.config.engine in ("vectorized", "bulk")
             else None
         )
+        #: The bulk engine drives stages 1/6 through the backend's
+        #: array interface and stage 2 through the dirty-set cache.
+        self._bulk = self.config.engine == "bulk"
+        #: Bumped on every registry mutation; part of the bulk view
+        #: cache key (a stable backend batch + an unchanged registry
+        #: means the gathered TickView can be reused as-is).
+        self._registry_version = 0
+        self._bulk_cache = None
+        self._cap_epoch_seen = backend.cap_epoch
         self._current_cap: Dict[str, float] = {}
         self._degraded: Dict[str, DegradedVcpu] = {}
         self._tick_count = 0
@@ -215,6 +224,7 @@ class VirtualFrequencyController:
         if self._table is not None:
             # A re-registration (set_vfreq) must refresh live slots too.
             self._table.set_vm_guarantee(vm_name, self._guarantee[vm_name])
+        self._registry_version += 1
         # VM churn invalidates the backend's cached cgroup topology.
         self.backend.invalidate()
 
@@ -252,6 +262,7 @@ class VirtualFrequencyController:
             if vm_component(path, self.machine_slice) == vm_name:
                 del self._degraded[path]
                 self.monitor.forget(path)
+        self._registry_version += 1
         self.backend.invalidate()
 
     def reset(self) -> None:
@@ -273,6 +284,8 @@ class VirtualFrequencyController:
         self.ledger.clear()
         self.estimator.reset()
         self.monitor.reset()
+        self._registry_version += 1
+        self._bulk_cache = None
         self.backend.invalidate()
         if self.invariant_checker is not None:
             self.invariant_checker.resync()
@@ -456,10 +469,16 @@ class VirtualFrequencyController:
         report = ControllerReport(t=t)
 
         # Stage 1 — monitoring; samples land directly in table slots.
+        # The bulk engine takes the backend's array path (stale-sample
+        # carry-forward is inherently per-path, so an active resilience
+        # policy keeps the list-based monitor).
         t0 = time.perf_counter()
-        samples, view = self.monitor.sample_into(
-            table, self._vm_vfreq, self._guarantee, self._current_cap
-        )
+        if self._bulk and self.resilience is None:
+            samples, view = self._bulk_sample(table)
+        else:
+            samples, view = self.monitor.sample_into(
+                table, self._vm_vfreq, self._guarantee, self._current_cap
+            )
         if self.resilience is not None:
             self._update_health(samples)
         report.samples = samples
@@ -472,7 +491,9 @@ class VirtualFrequencyController:
             report.timings.estimate = time.perf_counter() - t0
             self._finish(report)
             return report
-        estimates, trends, cases = decide_batch(table, view, cfg)
+        estimates, trends, cases = decide_batch(
+            table, view, cfg, use_cache=self._bulk
+        )
         if self.keep_reports:
             # The per-path decision objects are report detail only; the
             # stages below consume the arrays directly.
@@ -557,6 +578,7 @@ class VirtualFrequencyController:
         t0 = time.perf_counter()
         np.minimum(alloc, p_us, out=alloc)
         allocations = dict(zip(view.paths, alloc.tolist()))
+        overrides: Optional[Dict[str, float]] = None
         if self.resilience is not None and self._degraded:
             overrides = fallback_caps(
                 self.resilience, self._degraded, self._vm_vfreq,
@@ -566,7 +588,10 @@ class VirtualFrequencyController:
             report.degraded.update(overrides)
             for path, cycles in overrides.items():
                 table.set_cap_path(path, cycles)
-        self.enforcer.apply(allocations)
+        if self._bulk:
+            self._bulk_enforce(table, view, alloc, overrides)
+        else:
+            self.enforcer.apply(allocations)
         if self.resilience is not None:
             self._retry_failed_writes(allocations)
         self._current_cap.update(allocations)
@@ -576,6 +601,118 @@ class VirtualFrequencyController:
 
         self._finish(report)
         return report
+
+    # -- bulk-array engine helpers ------------------------------------------------
+
+    def _need_samples(self) -> bool:
+        """Whether anything downstream consumes ``report.samples``."""
+        return (
+            self.keep_reports
+            or self.obs is not None
+            or self.invariant_checker is not None
+        )
+
+    def _bulk_sample(self, table: VcpuTable):
+        """Stage 1 through :meth:`HostBackend.sample_all`.
+
+        While the backend batch keeps the same slot order (``paths`` is
+        the identical list object) and the VM registry is unchanged,
+        the gathered :class:`TickView` is reused with only its
+        ``consumed`` column swapped — the steady-state tick carries no
+        per-vCPU Python work at all.  Per-sample objects are only
+        materialised when reports, observability or the inline oracle
+        actually consume them.
+        """
+        batch = self.backend.sample_all(self.config.period_s)
+        cache = self._bulk_cache
+        if (
+            cache is not None
+            and cache[0] is batch.paths
+            and cache[1] == self._registry_version
+        ):
+            keep, view = cache[2], cache[3]
+            view.consumed = (
+                batch.consumed if keep is None else batch.consumed[keep]
+            )
+            samples = batch.to_samples(keep) if self._need_samples() else []
+            return samples, view
+        # View (re)build: same filter + gather as the list-based path.
+        samples_all = batch.to_samples()
+        registered = self._vm_vfreq
+        keep_idx = [
+            i for i, s in enumerate(samples_all) if s.vm_name in registered
+        ]
+        if len(keep_idx) == len(samples_all):
+            samples = samples_all
+            keep = None
+        else:
+            samples = [samples_all[i] for i in keep_idx]
+            keep = np.asarray(keep_idx, dtype=np.intp)
+        view = table.ingest(
+            samples, self._guarantee.__getitem__, self._current_cap
+        )
+        self._bulk_cache = (batch.paths, self._registry_version, keep, view)
+        return samples, view
+
+    def _bulk_enforce(
+        self,
+        table: VcpuTable,
+        view,
+        alloc: np.ndarray,
+        overrides: Optional[Dict[str, float]],
+    ) -> None:
+        """Stage 6 through :meth:`HostBackend.apply_caps`.
+
+        Quotas are scaled exactly like :meth:`Enforcer.quota_us`
+        (multiply before divide, banker's rounding, kernel floor), and
+        only rows whose quota differs from the one known to be in
+        force are handed to the backend.  A moved backend
+        ``cap_epoch`` (out-of-band cap invalidation) marks every row
+        dirty; failed or vanished writes reset to "unknown" so they
+        are rewritten next tick.
+        """
+        cfg = self.config
+        backend = self.backend
+        p_us = period_us(cfg.period_s)
+        enf = float(cfg.enforcement_period_us)
+        quota_f = np.rint(alloc * enf / p_us)
+        np.maximum(quota_f, MIN_QUOTA_US, out=quota_f)
+        quota = quota_f.astype(np.int64)
+        rows = view.rows
+        if backend.cap_epoch != self._cap_epoch_seen:
+            dirty_view = np.ones(rows.size, dtype=bool)
+            self._cap_epoch_seen = backend.cap_epoch
+        else:
+            dirty_view = table.last_quota[rows] != quota
+        paths = view.paths
+        dirty = dirty_view
+        quota_all = quota
+        o_paths: List[str] = []
+        if overrides:
+            o_paths = list(overrides)
+            o_quota = np.fromiter(
+                (self.enforcer.quota_us(c) for c in overrides.values()),
+                dtype=np.int64,
+                count=len(o_paths),
+            )
+            paths = paths + o_paths
+            quota_all = np.concatenate([quota, o_quota])
+            dirty = np.concatenate(
+                [dirty_view, np.ones(len(o_paths), dtype=bool)]
+            )
+        written = backend.apply_caps(
+            paths, quota_all, dirty, cfg.enforcement_period_us
+        )
+        # Commit what actually landed; failed or vanished rows become
+        # unknown (-1) so the next tick rewrites them unconditionally.
+        lq = table.last_quota
+        for i in np.flatnonzero(dirty_view).tolist():
+            path = view.paths[i]
+            lq[rows[i]] = quota[i] if path in written else -1
+        for j, path in enumerate(o_paths):
+            slot = table.slot_of(path)
+            if slot is not None:
+                lq[slot] = int(o_quota[j]) if path in written else -1
 
     # -- degraded-mode resilience -------------------------------------------------
 

@@ -135,6 +135,21 @@ class VcpuTable:
         self.guarantee = np.zeros(capacity)  # cached Eq. 2 C_i
         self.vm_ids = np.zeros(capacity, dtype=np.int64)
         self.degraded = np.zeros(capacity, dtype=bool)
+        # -- dirty-set decision cache (bulk engine) --------------------------
+        #: Length of the uniform tail of observed samples, *including*
+        #: the newest one.  ``run_len > history_len`` means the window
+        #: did not change when the newest sample shifted in — the one
+        #: condition under which last tick's stage-2 decision is
+        #: guaranteed to be bit-identical to recomputing it.
+        self.run_len = np.zeros(capacity, dtype=np.int64)
+        self.decide_valid = np.zeros(capacity, dtype=bool)
+        self.last_est = np.zeros(capacity)
+        self.last_trend = np.zeros(capacity)
+        self.last_case = np.zeros(capacity, dtype=np.int8)
+        self.last_decide_cap = np.zeros(capacity)
+        #: Quota (µs) this slot's cap scaled to at the last bulk write;
+        #: ``-1`` = unknown/failed, always dirty.
+        self.last_quota = np.full(capacity, -1, dtype=np.int64)
         # -- slot bookkeeping ------------------------------------------------
         self._slot: Dict[str, int] = {}
         self._path_of: List[Optional[str]] = [None] * capacity
@@ -158,7 +173,9 @@ class VcpuTable:
         old = self.capacity
         new = old * 2
         for name in ("hist", "hist_n", "cap", "has_cap", "guarantee",
-                     "vm_ids", "degraded"):
+                     "vm_ids", "degraded", "run_len", "decide_valid",
+                     "last_est", "last_trend", "last_case",
+                     "last_decide_cap", "last_quota"):
             arr = getattr(self, name)
             shape = (new,) + arr.shape[1:]
             grown = np.zeros(shape, dtype=arr.dtype)
@@ -218,6 +235,9 @@ class VcpuTable:
         self.hist_n[slot] = 0
         self.guarantee[slot] = guarantee
         self.degraded[slot] = False
+        self.run_len[slot] = 0
+        self.decide_valid[slot] = False
+        self.last_quota[slot] = -1
         if initial_cap is None:
             self.cap[slot] = 0.0
             self.has_cap[slot] = False
@@ -239,6 +259,9 @@ class VcpuTable:
         self.hist_n[slot] = 0
         self.has_cap[slot] = False
         self.degraded[slot] = False
+        self.run_len[slot] = 0
+        self.decide_valid[slot] = False
+        self.last_quota[slot] = -1
         self._free.append(slot)
         slots = self._vm_slots.get(vm_name)
         if slots is not None:
@@ -262,6 +285,9 @@ class VcpuTable:
         self.hist_n[:] = 0
         self.has_cap[:] = False
         self.degraded[:] = False
+        self.run_len[:] = 0
+        self.decide_valid[:] = False
+        self.last_quota[:] = -1
         self._slot.clear()
         self._path_of = [None] * capacity
         self._free = list(range(capacity - 1, -1, -1))
@@ -284,6 +310,10 @@ class VcpuTable:
         """Append one consumption per row (stage 2 history update)."""
         if rows.size == 0:
             return
+        # Uniform-tail tracking must look at the newest sample *before*
+        # the shift: extend the run when the incoming value repeats it.
+        same = (self.hist_n[rows] > 0) & (self.hist[rows, -1] == consumed)
+        self.run_len[rows] = np.where(same, self.run_len[rows] + 1, 1)
         self.hist[rows, :-1] = self.hist[rows, 1:]
         self.hist[rows, -1] = consumed
         self.hist_n[rows] = np.minimum(self.hist_n[rows] + 1, self.history_len)
@@ -314,6 +344,10 @@ class VcpuTable:
         if n:
             self.hist[slot, self.history_len - n:] = vals
         self.hist_n[slot] = n
+        # The window was replaced wholesale: the uniform-tail counter no
+        # longer describes it, so the decision cache must not serve.
+        self.run_len[slot] = 0
+        self.decide_valid[slot] = False
 
     # -- caps and degraded flags ------------------------------------------------
 
@@ -387,31 +421,25 @@ class VcpuTable:
 # -- vectorised stage 2 ----------------------------------------------------------
 
 
-def decide_batch(
+def _decide_core(
     table: VcpuTable,
-    view: TickView,
-    config: ControllerConfig,
+    rows: np.ndarray,
+    u: np.ndarray,
+    n_arr: np.ndarray,
+    cap: np.ndarray,
+    cfg: ControllerConfig,
+    p_us: float,
+    floor: float,
+    eps: float,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Stage-2 decisions for every sampled vCPU at once.
+    """The stage-2 decision arithmetic over one set of rows.
 
-    Returns ``(estimates, trends, case_codes)`` in sample order,
-    bit-identical to calling
-    :meth:`repro.core.estimator.TrendEstimator.decide` per path.
-    Histories must already include this tick's observation
-    (:meth:`VcpuTable.observe` first), mirroring the scalar order.
+    Pure per-element function of (history window, cap, config), so
+    computing it over any subset of rows yields the same values as
+    over the full population — the property the dirty-set cache in
+    :func:`decide_batch` relies on.
     """
-    cfg = config
-    p_us = period_us(cfg.period_s)
-    floor = cfg.min_cap_frac * p_us
-    eps = cfg.trend_epsilon * p_us
-    rows = view.rows
-    u = view.consumed
     n = rows.size
-
-    n_arr = table.hist_n[rows]
-    cap_raw = np.where(table.has_cap[rows], table.cap[rows], p_us)
-    cap = np.maximum(cap_raw, floor)
-
     est = np.empty(n)
     trend = np.zeros(n)
     case = np.full(n, _WARMUP, dtype=np.int8)
@@ -467,6 +495,76 @@ def decide_batch(
 
     np.maximum(est, floor, out=est)
     np.minimum(est, p_us, out=est)
+    return est, trend, case
+
+
+def decide_batch(
+    table: VcpuTable,
+    view: TickView,
+    config: ControllerConfig,
+    use_cache: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stage-2 decisions for every sampled vCPU at once.
+
+    Returns ``(estimates, trends, case_codes)`` in sample order,
+    bit-identical to calling
+    :meth:`repro.core.estimator.TrendEstimator.decide` per path.
+    Histories must already include this tick's observation
+    (:meth:`VcpuTable.observe` first), mirroring the scalar order.
+
+    With ``use_cache=True`` (the bulk engine's dirty-set recompute),
+    rows whose decision inputs provably did not change since their
+    last decision — the consumption window shifted in a repeat of
+    itself (``run_len > history_len``) and the cap equals the exact
+    value the cached decision was computed against — are served from
+    the per-slot cache instead of recomputed.  The decision is a pure
+    per-element function of (window, cap, config), so cached and
+    recomputed values are bit-identical by construction (and proved
+    against the scalar oracle by the cross-engine harness on fuzzed
+    traces).
+    """
+    cfg = config
+    p_us = period_us(cfg.period_s)
+    floor = cfg.min_cap_frac * p_us
+    eps = cfg.trend_epsilon * p_us
+    rows = view.rows
+    u = view.consumed
+    n = rows.size
+
+    n_arr = table.hist_n[rows]
+    cap_raw = np.where(table.has_cap[rows], table.cap[rows], p_us)
+    cap = np.maximum(cap_raw, floor)
+
+    if not use_cache:
+        return _decide_core(table, rows, u, n_arr, cap, cfg, p_us, floor, eps)
+
+    clean = (
+        table.decide_valid[rows]
+        & (table.run_len[rows] > table.history_len)
+        & (table.last_decide_cap[rows] == cap)
+    )
+    est = np.empty(n)
+    trend = np.empty(n)
+    case = np.empty(n, dtype=np.int8)
+    if clean.any():
+        r = rows[clean]
+        est[clean] = table.last_est[r]
+        trend[clean] = table.last_trend[r]
+        case[clean] = table.last_case[r]
+    dirty = ~clean
+    if dirty.any():
+        e, tr, ca = _decide_core(
+            table, rows[dirty], u[dirty], n_arr[dirty], cap[dirty],
+            cfg, p_us, floor, eps,
+        )
+        est[dirty] = e
+        trend[dirty] = tr
+        case[dirty] = ca
+    table.last_est[rows] = est
+    table.last_trend[rows] = trend
+    table.last_case[rows] = case
+    table.last_decide_cap[rows] = cap
+    table.decide_valid[rows] = True
     return est, trend, case
 
 

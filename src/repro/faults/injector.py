@@ -23,12 +23,12 @@ exercised for real.
 from __future__ import annotations
 
 import errno
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Optional
 
 from repro.cgroups.fs import CgroupFS
 from repro.cgroups.procfs import ProcFS, parse_stat_line
 from repro.cgroups.sysfs import CpuFreqSysFS
-from repro.core.backend import DEFAULT_MACHINE_SLICE, HostBackend, VCpuSample
+from repro.core.backend import DEFAULT_MACHINE_SLICE, HostBackend
 from repro.faults.plan import FaultPlan
 from repro.obs.logging import get_logger
 
@@ -88,6 +88,7 @@ class FaultInjector(HostBackend):
         inj.tolerate_errors = backend.tolerate_errors
         inj._prev_usage = dict(backend._prev_usage)
         inj._last_cap = dict(backend._last_cap)
+        inj.cap_epoch = backend.cap_epoch
         return inj
 
     def _fire(self, kind: str, target: str) -> None:
@@ -169,10 +170,16 @@ class FaultInjector(HostBackend):
         return super().write_file(path, content)
 
     # -- batch entry points: crash boundaries and clock jitter -----------------
+    #
+    # The batch hooks fire exactly once per monitoring/write batch no
+    # matter which spelling the caller used (``read_vcpu_samples`` or
+    # ``sample_all``, ``write_caps`` or ``apply_caps``), so the tick
+    # clock never double-advances when a bulk entry point falls back to
+    # the list-based scan internally.
 
-    def read_vcpu_samples(self, period_s: float = 1.0) -> List[VCpuSample]:
+    def _begin_sample_batch(self, period_s: float) -> float:
         if not self.plan.specs:
-            return super().read_vcpu_samples(period_s)
+            return period_s
         self.tick_index += 1
         spec = self.plan.draw("crash", "stage:monitor", self.tick_index)
         if spec is not None:
@@ -184,17 +191,19 @@ class FaultInjector(HostBackend):
         if spec is not None:
             self._fire("clock_jitter", "tick")
             period_s = period_s * (1.0 + spec.jitter_frac * self.plan.jitter_draw())
-        return super().read_vcpu_samples(period_s)
+        return period_s
 
-    def write_caps(
-        self, quotas: Mapping[str, int], enforcement_period_us: int
-    ) -> Dict[str, int]:
+    def _begin_write_batch(self) -> None:
         if not self.plan.specs:
-            return super().write_caps(quotas, enforcement_period_us)
+            return
         spec = self.plan.draw("crash", "stage:enforce", self.tick_index)
         if spec is not None:
             self._fire("crash", "stage:enforce")
             raise ControllerCrash(
                 f"injected crash at stage:enforce, tick {self.tick_index}"
             )
-        return super().write_caps(quotas, enforcement_period_us)
+
+    def _direct_io_ok(self) -> bool:
+        # Faults inject at the per-file primitives; an armed plan must
+        # force every batch through them.
+        return not self.plan.specs

@@ -13,8 +13,20 @@ from repro.sim.scenario import (
 from repro.sim.report import render_table, series_to_rows
 from repro.sim.cluster_engine import ClusterSimulation, NodeRuntime
 from repro.sim.arrivals import ArrivalEvent, CloudOperator, generate_arrivals
+from repro.sim.node_manager import (
+    NodeManager,
+    RemoteNodeError,
+    Shard,
+    ShardedNodeManager,
+    TickResult,
+)
 
 __all__ = [
+    "NodeManager",
+    "ShardedNodeManager",
+    "Shard",
+    "TickResult",
+    "RemoteNodeError",
     "TimeSeries",
     "MetricsRecorder",
     "Simulation",

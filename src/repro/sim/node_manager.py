@@ -23,8 +23,9 @@ controller without ``.backend`` simply contributes nothing).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.api import Controller
 from repro.core.backend import BackendStats
@@ -239,3 +240,314 @@ class NodeManager:
                 checks += checker.checks_total
                 violations += checker.violations_total
         return checks, violations
+
+
+# -- sharded (multi-process) control plane --------------------------------------
+#
+# Above a few hundred nodes the thread-pool barrier saturates on the
+# GIL: every controller tick is pure Python over NumPy arrays, so
+# threads serialize exactly where the work is.  The sharded manager
+# splits the node set into groups, builds each group *inside* a worker
+# process (controllers hold kernel-surface handles and RNG state that
+# must never cross a pickle boundary), and ticks the groups in a
+# :class:`~concurrent.futures.ProcessPoolExecutor`.
+#
+# Affinity is structural: each shard owns a dedicated single-worker
+# executor, so every task for that shard lands on the process holding
+# its state.  Only three things ever cross the process boundary:
+# the shard *factory* on the way in (a picklable module-level callable)
+# and, each tick, the per-node ``ControllerReport``s plus summed
+# telemetry on the way out.
+
+
+class Shard:
+    """What a shard factory builds inside its worker process.
+
+    ``controllers`` maps node id to a live per-node controller;
+    ``pre_tick`` (optional) runs in-worker before every barrier tick —
+    the hook simulations use to advance node workloads by one period
+    (mirroring the ``node.step(dt); manager.tick(t)`` cadence of the
+    in-process drivers).  Neither the controllers nor the hook is ever
+    pickled; only the factory that creates them is.
+    """
+
+    def __init__(
+        self,
+        controllers: Dict[str, Controller],
+        pre_tick: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.controllers = controllers
+        self.pre_tick = pre_tick
+
+
+#: Per-worker singleton: the shard this process owns.  Safe as a module
+#: global because every shard executor runs ``max_workers=1``.
+_WORKER_SHARD: Optional[Tuple[Shard, NodeManager]] = None
+
+
+def _shard_build(
+    factory: Callable[[], Union[Shard, Dict[str, Controller]]],
+) -> List[str]:
+    """(worker) Build the shard's node group; return its node ids."""
+    global _WORKER_SHARD
+    built = factory()
+    shard = built if isinstance(built, Shard) else Shard(dict(built))
+    _WORKER_SHARD = (shard, NodeManager(shard.controllers, parallel=False))
+    return sorted(shard.controllers)
+
+
+def _shard_tick(
+    t: float,
+) -> Tuple[
+    Dict[str, ControllerReport],
+    Dict[str, Tuple[str, str]],
+    BackendStats,
+    Tuple[int, int],
+]:
+    """(worker) One barrier tick over this worker's node group.
+
+    Exceptions are flattened to ``(type_name, message)`` pairs — live
+    exception objects may drag unpicklable controller state through
+    their traceback frames.
+    """
+    shard, manager = _WORKER_SHARD  # type: ignore[misc]
+    if shard.pre_tick is not None:
+        shard.pre_tick(t)
+    result = manager.tick(t)
+    errors = {
+        node_id: (type(exc).__name__, str(exc))
+        for node_id, exc in result.errors.items()
+    }
+    return (
+        dict(result),
+        errors,
+        manager.backend_stats(),
+        manager.invariant_totals(),
+    )
+
+
+def _shard_register_vm(node_id: str, vm_name: str, vfreq_mhz: float) -> None:
+    _WORKER_SHARD[1].register_vm(node_id, vm_name, vfreq_mhz)  # type: ignore[index]
+
+
+def _shard_unregister_vm(node_id: str, vm_name: str) -> None:
+    _WORKER_SHARD[1].unregister_vm(node_id, vm_name)  # type: ignore[index]
+
+
+class RemoteNodeError(RuntimeError):
+    """A node tick failure reconstructed from a worker process.
+
+    Carries the original exception's type name and message; the live
+    object stayed in the worker (tracebacks don't pickle cleanly and
+    may reference controller internals).
+    """
+
+    def __init__(self, exc_type: str, message: str) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+
+
+class ShardedNodeManager:
+    """Runs node groups in worker processes; one barrier per tick.
+
+    Same contract as :class:`NodeManager` — ``tick(t)`` returns a
+    merged :class:`TickResult`, failed nodes land in ``result.errors``
+    without aborting the barrier, and the aggregate telemetry methods
+    (``aggregate_timings`` / ``backend_stats`` / ``invariant_totals``)
+    report cluster-wide sums.  Fault isolation is two-level: a node
+    whose tick raises is contained by the in-worker :class:`NodeManager`
+    (its shard's other nodes still report), and a shard whose *process*
+    dies marks all of its nodes failed while the remaining shards
+    complete; ``restart_shard`` rebuilds a dead shard from its factory.
+
+    ``shard_factories`` maps shard id to a picklable zero-argument
+    callable (module-level function or :func:`functools.partial` of
+    one) returning either a :class:`Shard` or a plain
+    ``{node_id: controller}`` dict.  Groups are built lazily inside the
+    workers on first use — construct, then tick.
+
+    Observability stays per-node and in-worker: the inner manager's
+    flight-recorder trigger fires in the process that owns the hub, so
+    black-box dumps land exactly as they do single-process.  What this
+    layer aggregates is the report stream and the summed telemetry.
+    """
+
+    def __init__(
+        self,
+        shard_factories: Mapping[
+            str, Callable[[], Union[Shard, Dict[str, Controller]]]
+        ],
+        *,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if not shard_factories:
+            raise ValueError("at least one shard factory is required")
+        self.shard_factories = dict(shard_factories)
+        methods = multiprocessing.get_all_start_methods()
+        method = mp_context or ("fork" if "fork" in methods else "spawn")
+        self._ctx = multiprocessing.get_context(method)
+        self._pools: Dict[str, ProcessPoolExecutor] = {}
+        #: node ids per shard, learned from the in-worker build.
+        self.nodes_by_shard: Dict[str, List[str]] = {}
+        self.last_reports: Dict[str, ControllerReport] = {}
+        self.last_errors: Dict[str, BaseException] = {}
+        self.error_counts: Dict[str, int] = {}
+        self.ticks = 0
+        self._started = False
+        self._backend_stats = BackendStats()
+        self._invariant_totals = (0, 0)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up one single-worker pool per shard and build in-worker."""
+        if self._started:
+            return
+        futures = {}
+        for shard_id, factory in self.shard_factories.items():
+            pool = ProcessPoolExecutor(max_workers=1, mp_context=self._ctx)
+            self._pools[shard_id] = pool
+            futures[shard_id] = pool.submit(_shard_build, factory)
+        for shard_id, future in futures.items():
+            self.nodes_by_shard[shard_id] = future.result()
+        self._started = True
+        log.info(
+            "sharded control plane started",
+            extra={
+                "shards": len(self._pools),
+                "nodes": self.num_nodes,
+            },
+        )
+
+    def restart_shard(self, shard_id: str) -> None:
+        """Rebuild a dead shard's worker from its factory (recovery)."""
+        pool = self._pools.pop(shard_id, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        fresh = ProcessPoolExecutor(max_workers=1, mp_context=self._ctx)
+        self._pools[shard_id] = fresh
+        self.nodes_by_shard[shard_id] = fresh.submit(
+            _shard_build, self.shard_factories[shard_id]
+        ).result()
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.shutdown(wait=True)
+        self._pools = {}
+        self._started = False
+
+    def __enter__(self) -> "ShardedNodeManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(ids) for ids in self.nodes_by_shard.values())
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_factories)
+
+    def shard_of(self, node_id: str) -> str:
+        for shard_id, ids in self.nodes_by_shard.items():
+            if node_id in ids:
+                return shard_id
+        raise KeyError(f"node not managed: {node_id}")
+
+    # -- VM routing -------------------------------------------------------------
+
+    def register_vm(self, node_id: str, vm_name: str, vfreq_mhz: float) -> None:
+        self.start()
+        shard_id = self.shard_of(node_id)
+        self._pools[shard_id].submit(
+            _shard_register_vm, node_id, vm_name, vfreq_mhz
+        ).result()
+
+    def unregister_vm(self, node_id: str, vm_name: str) -> None:
+        self.start()
+        shard_id = self.shard_of(node_id)
+        self._pools[shard_id].submit(
+            _shard_unregister_vm, node_id, vm_name
+        ).result()
+
+    # -- the control plane tick -------------------------------------------------
+
+    def tick(self, t: float) -> TickResult:
+        """One iteration on every node of every shard; barrier semantics.
+
+        Telemetry sums (`backend_stats`, `invariant_totals`) are
+        refreshed from the workers as part of the same round trip —
+        counters are cumulative in the backends, so the latest snapshot
+        is the cluster total.
+        """
+        self.start()
+        self.last_errors = {}
+        result = TickResult()
+        futures = {
+            shard_id: pool.submit(_shard_tick, t)
+            for shard_id, pool in self._pools.items()
+        }
+        stats = BackendStats()
+        checks = violations = 0
+        for shard_id, future in futures.items():
+            try:
+                reports, errors, shard_stats, totals = future.result()
+            except Exception as exc:
+                # The whole worker died (BrokenProcessPool, pickling
+                # failure): every node of the shard is down this tick.
+                for node_id in self.nodes_by_shard.get(shard_id, []):
+                    self._record_error(node_id, exc, result)
+                continue
+            result.update(reports)
+            for node_id, (exc_type, message) in errors.items():
+                self._record_error(
+                    node_id, RemoteNodeError(exc_type, message), result
+                )
+            stats = stats + shard_stats
+            checks += totals[0]
+            violations += totals[1]
+        self._backend_stats = stats
+        self._invariant_totals = (checks, violations)
+        self.last_reports.update(result)
+        self.ticks += 1
+        return result
+
+    def _record_error(
+        self, node_id: str, exc: BaseException, result: TickResult
+    ) -> None:
+        result.errors[node_id] = exc
+        self.last_errors[node_id] = exc
+        self.error_counts[node_id] = self.error_counts.get(node_id, 0) + 1
+        log.error(
+            "node tick failed: %s: %s", type(exc).__name__, exc,
+            extra={
+                "node": node_id,
+                "errors": self.error_counts[node_id],
+            },
+        )
+
+    # -- aggregate telemetry ----------------------------------------------------
+
+    def aggregate_timings(self) -> StageTimings:
+        """Summed per-stage wall-clock across the latest reports."""
+        total = StageTimings()
+        for report in self.last_reports.values():
+            t = report.timings
+            total.monitor += t.monitor
+            total.estimate += t.estimate
+            total.credits += t.credits
+            total.auction += t.auction
+            total.distribute += t.distribute
+            total.enforce += t.enforce
+        return total
+
+    def backend_stats(self) -> BackendStats:
+        """Cluster-wide syscall counters (as of the latest tick)."""
+        return self._backend_stats
+
+    def invariant_totals(self) -> Tuple[int, int]:
+        """(checks, violations) cluster-wide (as of the latest tick)."""
+        return self._invariant_totals

@@ -23,16 +23,16 @@ The controller implements the shared
 (``register_vm`` / ``unregister_vm`` / ``tick(t) -> report``), so
 engines and benchmarks drive it exactly like the paper's
 :class:`~repro.core.controller.VirtualFrequencyController`.  The
-pre-protocol ``tick(vms, dt)`` spelling keeps working through a thin
-deprecation shim.
+pre-protocol ``tick(vms, dt)`` spelling was removed after one
+deprecation cycle — ``register_vm``/``watch`` the VMs, then
+``tick(t)``.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.core.controller import ControllerReport
 from repro.virt.vm import VMInstance
@@ -112,28 +112,15 @@ class VmdfsController:
 
     # -- the control loop -------------------------------------------------------
 
-    def tick(
-        self,
-        t_or_vms: Union[float, Mapping[str, VMInstance]],
-        dt: Optional[float] = None,
-    ) -> Union[ControllerReport, Dict[str, int]]:
-        """One control iteration.
+    def tick(self, t: float) -> ControllerReport:
+        """One control iteration at simulation time ``t``.
 
-        Protocol form: ``tick(t)`` at simulation time ``t`` returns a
-        :class:`ControllerReport` whose ``allocations`` map each VM's
-        cgroup path to the weight written.  The pre-protocol form
-        ``tick(vms, dt)`` still returns the raw weight dict, via a
-        deprecation shim.
+        Returns a :class:`ControllerReport` whose ``allocations`` map
+        each VM's cgroup path to the weight written.  The pre-protocol
+        ``tick(vms, dt)`` form was removed; passing a mapping here now
+        fails the ``float()`` conversion with a ``TypeError``.
         """
-        if dt is not None or isinstance(t_or_vms, Mapping):
-            warnings.warn(
-                "VmdfsController.tick(vms, dt) is deprecated; register VMs "
-                "and call tick(t) (Controller protocol) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return self._control(t_or_vms, dt)
-        t = float(t_or_vms)
+        t = float(t)
         step = self.period_s if self._last_t is None else t - self._last_t
         t0 = time.perf_counter()
         written = self._control(self._vms, step)

@@ -26,7 +26,7 @@ def run_vmdfs(workloads, seconds=30.0):
     for k in range(int(seconds * 2)):
         sim.run(0.5)
         if k % 2 == 1:
-            vmdfs.tick(vms, dt=1.0)
+            vmdfs.tick(float(k // 2 + 1))
     return node, vms, vmdfs
 
 
@@ -54,19 +54,22 @@ class TestPrediction:
         )
         from repro.virt.hypervisor import Hypervisor
 
-        # tick with an extra VM nobody watches: no weight written for it
+        # a VM nobody registered gets no weight written
         hv = Hypervisor(node, enforce_admission=False)
         stranger = hv.provision(LIGHT, "stranger")
-        written = vmdfs.tick({**vms, "stranger": stranger}, dt=1.0)
-        assert "stranger" not in written
+        report = vmdfs.tick(6.0)
+        assert stranger.cgroup_path not in report.allocations
         assert node.fs.node(stranger.cgroup_path).cpu.weight == 100  # default
 
     def test_alpha_validation(self):
         node, _, _ = run_vmdfs({})
         with pytest.raises(ValueError):
             VmdfsController(node.fs, alpha=0.0)
+        # two ticks at the same simulation time: the second has dt=0
+        fresh = VmdfsController(node.fs)
+        fresh.tick(1.0)
         with pytest.raises(ValueError):
-            VmdfsController(node.fs).tick({}, dt=0.0)
+            fresh.tick(1.0)
 
 
 class TestPaperCriticism:
@@ -95,7 +98,7 @@ class TestPaperCriticism:
         vmdfs.watch(vm)
         sim = Simulation(node, hv, dt=0.5)
         sim.run(2.0)
-        vmdfs.tick({"vm": vm}, dt=1.0)
+        vmdfs.tick(2.0)
         assert int(node.fs.read(f"{vm.cgroup_path}/cpu.shares")) >= 2
 
 
@@ -154,11 +157,11 @@ class TestControllerProtocol:
         assert len(vmdfs.reports) == 10
         assert vmdfs.predicted_cores("busy") > 0.5
 
-    def test_legacy_tick_warns_and_returns_weights(self):
+    def test_legacy_tick_signature_removed(self):
+        """The deprecated ``tick(vms, dt)`` shim is gone: passing a
+        mapping no longer silently falls into a second code path."""
         node, hv, vmdfs = self._host()
         vm = hv.provision(HUNGRY, "busy")
         vmdfs.watch(vm)
-        with pytest.warns(DeprecationWarning):
-            written = vmdfs.tick({"busy": vm}, dt=1.0)
-        assert isinstance(written, dict)
-        assert written["busy"] >= 1
+        with pytest.raises(TypeError):
+            vmdfs.tick({"busy": vm}, dt=1.0)
