@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke obs-smoke examples figures clean
+.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke bench-rebalance-smoke obs-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -63,6 +63,14 @@ bench-bulk-smoke:
 # period per tick)
 bench-obs-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py --benchmark-only -q
+
+# quick chaos+churn rebalancer A/B on 8 nodes (CI gates: the rebalancer
+# must beat static placement on total guarantee-violation VM-seconds and
+# the planner round cost may not regress against the committed
+# BENCH_rebalance.json baseline)
+bench-rebalance-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_rebalance.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
 
 # boot the /metrics endpoint on a live observed host and scrape it once
 # (CI gate: exposition format parses, every family appears exactly once)

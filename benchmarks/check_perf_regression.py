@@ -1,11 +1,14 @@
-"""Fail if the controller tick got slower than the committed baseline.
+"""Fail if a gated timing got slower than its committed baseline.
 
-Compares the fresh ``benchmarks/results/BENCH_controller.json`` (written
-by ``bench_scaling.py`` and ``bench_bulk.py``) against the repo-root
-``BENCH_controller.json`` baseline that ships with the tree.  For every
-section present in both files, every per-tick "seconds" leaf —
-full-tick cost, per-stage costs including stage 1 (monitoring) and
-stage 6 (enforcement), and the per-node-count sharded curve — may not
+Compares each fresh ``benchmarks/results/BENCH_*.json`` (written by the
+benches) against the matching repo-root ``BENCH_*.json`` baseline that
+ships with the tree — ``BENCH_controller.json`` for the engine benches
+(``bench_scaling.py``, ``bench_bulk.py``), ``BENCH_rebalance.json`` for
+the rebalance control plane (``bench_rebalance.py``).  A pair is only
+checked when both files exist, so each smoke target gates just its own
+bench; at least one pair must be comparable.  For every section present
+in both files of a pair, every gated "lower is better" timing leaf —
+per-tick engine costs, the rebalance planner's per-round cost — may not
 exceed the baseline by more than the tolerance (default 25%, override
 with the ``PERF_TOLERANCE`` env var, e.g. ``PERF_TOLERANCE=0.40``)
 plus a small absolute slack for timer noise on sub-millisecond leaves.
@@ -13,7 +16,7 @@ Scalar-engine numbers are reference points, not gates.  The 10k-VM
 section carries a hard budget instead of a relative gate for its worst
 tick: it must fit inside one control period regardless of baseline.
 
-Absolute timings wobble across machines; the committed baseline is
+Absolute timings wobble across machines; the committed baselines are
 refreshed together with any intentional perf change (see
 docs/performance.md), so the diff only has to catch order-of-magnitude
 slips like an accidental fall back to the scalar path.
@@ -25,11 +28,16 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BASELINE = REPO_ROOT / "BENCH_controller.json"
-FRESH = REPO_ROOT / "benchmarks" / "results" / "BENCH_controller.json"
+RESULTS = REPO_ROOT / "benchmarks" / "results"
 
-#: gated leaves are "lower is better" per-tick timings
-GATED_SUFFIXES = ("_seconds_per_tick",)
+#: (committed baseline, fresh results) pairs; checked when both exist
+PAIRS = [
+    (REPO_ROOT / "BENCH_controller.json", RESULTS / "BENCH_controller.json"),
+    (REPO_ROOT / "BENCH_rebalance.json", RESULTS / "BENCH_rebalance.json"),
+]
+
+#: gated leaves are "lower is better" timings
+GATED_SUFFIXES = ("_seconds_per_tick", "_seconds_per_round")
 
 #: never gated relatively: scalar numbers are a reference point, and the
 #: worst-case tick is inherently spiky — it has its own hard budget below
@@ -55,27 +63,12 @@ def _flatten(section, prefix=""):
     return out
 
 
-def main() -> int:
-    tolerance = float(os.environ.get("PERF_TOLERANCE", "0.25"))
-    if not BASELINE.exists():
-        print(f"perf check: no baseline at {BASELINE}", file=sys.stderr)
-        return 1
-    if not FRESH.exists():
-        print(
-            f"perf check: no fresh results at {FRESH} "
-            "(run the engine bench first)",
-            file=sys.stderr,
-        )
-        return 1
-    baseline = json.loads(BASELINE.read_text())
-    fresh = json.loads(FRESH.read_text())
+def _check_pair(baseline_path, fresh_path, tolerance, failures):
+    """Compare one baseline/fresh file pair; returns metrics compared."""
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
 
     shared = sorted(set(baseline) & set(fresh))
-    if not shared:
-        print("perf check: no section present in both files", file=sys.stderr)
-        return 1
-
-    failures = []
     compared = 0
     for section in shared:
         base_flat = _flatten(baseline[section])
@@ -106,7 +99,34 @@ def main() -> int:
             )
             if worst >= budget:
                 failures.append((section, "max_tick_seconds", budget, worst))
+    return compared
 
+
+def main() -> int:
+    tolerance = float(os.environ.get("PERF_TOLERANCE", "0.25"))
+    failures = []
+    compared = 0
+    checked = 0
+    for baseline_path, fresh_path in PAIRS:
+        if not fresh_path.exists():
+            continue  # this bench didn't run; its gate doesn't apply
+        if not baseline_path.exists():
+            print(
+                f"perf check: fresh results at {fresh_path} but no committed "
+                f"baseline at {baseline_path}",
+                file=sys.stderr,
+            )
+            return 1
+        checked += 1
+        compared += _check_pair(baseline_path, fresh_path, tolerance, failures)
+
+    if checked == 0:
+        print(
+            "perf check: no fresh results under benchmarks/results/ "
+            "(run a bench first)",
+            file=sys.stderr,
+        )
+        return 1
     if compared == 0:
         print("perf check: no shared timing metric to compare", file=sys.stderr)
         return 1
@@ -114,7 +134,8 @@ def main() -> int:
         print(
             f"\nperf check FAILED: {len(failures)} metric(s) above "
             f"baseline x{1.0 + tolerance:.2f} "
-            "(refresh BENCH_controller.json if the slowdown is intentional)",
+            "(refresh the committed BENCH_*.json baseline if the slowdown "
+            "is intentional)",
             file=sys.stderr,
         )
         return 1

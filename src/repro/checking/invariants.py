@@ -526,3 +526,103 @@ class InvariantChecker:
         self.last_violations = violations
         self._prev_wallets = dict(report.wallets)
         return violations
+
+
+# ---------------------------------------------------------------------------
+# Rebalance plan admissibility (cluster-scale Eq. 7)
+# ---------------------------------------------------------------------------
+
+#: Absolute MHz tolerance for the cluster-scale Eq. 7 comparison.
+PLAN_TOL_MHZ = 1e-3
+
+
+def check_plan_admissible(view, plan, *, allocation_ratio: float = 1.0) -> List[Violation]:
+    """Independent Eq. 7 oracle for one rebalance plan.
+
+    ``view`` / ``plan`` are duck-typed (:class:`repro.rebalance.view.
+    ClusterStateView` / :class:`repro.rebalance.planner.MigrationPlan`)
+    so this module stays import-cycle-free; the arithmetic is done
+    inline, NOT via the planner's own ``SimulatedState`` — that is the
+    point: a planner bug in its what-if bookkeeping must not be able to
+    certify its own plan.
+
+    Checks, per plan: every moved VM exists and starts on the recorded
+    source; no VM moves twice; no move touches a VM already migrating
+    or a node blacked out by an in-flight migration; and after applying
+    *all* moves, every receiving node still satisfies
+    ``committed_mhz <= capacity_mhz * allocation_ratio`` (Eq. 7, scaled)
+    and its memory budget.  Not registered in :data:`INVARIANTS` — the
+    signature differs from the per-tick oracles; the
+    :class:`~repro.rebalance.loop.RebalanceLoop` calls it directly and
+    drops any plan that fails.
+    """
+    violations: List[Violation] = []
+
+    def bad(message: str, vm: Optional[str] = None) -> None:
+        violations.append(Violation(
+            invariant="rebalance_plan", message=message, t=plan.t, vm=vm,
+        ))
+
+    pinned = set(view.pinned_nodes())
+    migrating = set(view.migrating_vms())
+    committed_mhz = {n.node_id: n.committed_mhz for n in view.nodes.values()}
+    committed_mb = {n.node_id: n.committed_memory_mb for n in view.nodes.values()}
+    receiving: set = set()
+    moved: set = set()
+    for move in plan.moves:
+        vm = view.vms.get(move.vm_name)
+        if vm is None:
+            bad(f"planned VM does not exist in the snapshot", move.vm_name)
+            continue
+        if move.vm_name in moved:
+            bad("VM planned to move twice in one round", move.vm_name)
+            continue
+        moved.add(move.vm_name)
+        if move.vm_name in migrating:
+            bad("VM is already migrating (in-flight blackout)", move.vm_name)
+            continue
+        if vm.node_id != move.source:
+            bad(
+                f"recorded source {move.source} but snapshot hosts it on "
+                f"{vm.node_id}",
+                move.vm_name,
+            )
+            continue
+        if move.source in pinned or move.target in pinned:
+            bad(
+                f"{move.source}->{move.target} touches a node pinned by an "
+                "in-flight migration",
+                move.vm_name,
+            )
+            continue
+        target = view.nodes.get(move.target)
+        if target is None or not target.powered_on:
+            bad(f"target {move.target} missing or powered off", move.vm_name)
+            continue
+        if vm.vfreq_mhz > target.fmax_mhz:
+            bad(
+                f"guarantee {vm.vfreq_mhz:g} MHz exceeds target F_MAX "
+                f"{target.fmax_mhz:g} MHz (Eq. 2)",
+                move.vm_name,
+            )
+            continue
+        committed_mhz[move.source] -= vm.demand_mhz
+        committed_mb[move.source] -= vm.memory_mb
+        committed_mhz[move.target] += vm.demand_mhz
+        committed_mb[move.target] += vm.memory_mb
+        receiving.add(move.target)
+    for node_id in sorted(receiving):
+        node = view.nodes[node_id]
+        limit = node.capacity_mhz * allocation_ratio
+        if committed_mhz[node_id] > limit + PLAN_TOL_MHZ:
+            bad(
+                f"plan over-commits {node_id}: "
+                f"{committed_mhz[node_id]:.3f} MHz committed > "
+                f"{limit:.3f} MHz capacity (Eq. 7 x {allocation_ratio:g})"
+            )
+        if committed_mb[node_id] > node.memory_mb:
+            bad(
+                f"plan over-commits {node_id} memory: "
+                f"{committed_mb[node_id]} MB > {node.memory_mb} MB"
+            )
+    return violations

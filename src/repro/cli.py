@@ -120,11 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the causal derivation of one cpu.max write from a "
              "decision ledger (see docs/observability.md)",
     )
-    p7.add_argument("--vm", required=True, help="VM name")
-    p7.add_argument("--vcpu", type=int, required=True, help="vCPU index")
-    p7.add_argument("--tick", type=int, required=True, help="controller tick")
+    p7.add_argument("--vm", default=None, help="VM name")
+    p7.add_argument("--vcpu", type=int, default=None, help="vCPU index")
+    p7.add_argument("--tick", type=int, default=None, help="controller tick")
+    p7.add_argument("--move", default=None, metavar="VM",
+                    help="explain why this VM was live-migrated (reads the "
+                         "rebalance ledger instead of the decision ledger)")
+    p7.add_argument("--round", type=int, default=None, metavar="N",
+                    help="with --move: pin the rebalance round "
+                         "(default: the VM's latest move)")
     p7.add_argument("--ledger", default=None, metavar="FILE",
-                    help="ledger JSONL file (default: <obs-dir>/ledger.jsonl)")
+                    help="ledger JSONL file (default: <obs-dir>/ledger.jsonl, "
+                         "or <obs-dir>/rebalance.jsonl with --move)")
     p7.add_argument("--obs-dir", default=None, metavar="DIR",
                     help="observability output directory of the run")
 
@@ -140,6 +147,55 @@ def build_parser() -> argparse.ArgumentParser:
     tc.add_argument("dump", metavar="DUMP", help="flight_*.json dump file")
     tc.add_argument("-o", "--output", required=True, metavar="FILE",
                     help="JSONL trace to write")
+
+    p10 = sub.add_parser(
+        "rebalance",
+        help="frequency-guarantee-aware cluster rebalancer (dry-run "
+             "plans, node drains, chaos+churn runs; docs/rebalancing.md)",
+    )
+    rsub = p10.add_subparsers(dest="rebalance_command", required=True)
+    rp = rsub.add_parser(
+        "plan",
+        help="dry-run: snapshot a seeded chaos cluster and print the "
+             "scored move list without executing anything",
+    )
+    _add_chaos_flags(rp)
+    rp.add_argument("--at", type=float, default=60.0, metavar="T",
+                    help="simulated seconds of chaos+churn before the "
+                         "snapshot (default 60)")
+    rp.add_argument("--drain", action="append", default=[], metavar="NODE",
+                    help="also plan evacuating NODE (repeatable)")
+    rp.add_argument("--max-moves", type=int, default=16,
+                    help="batch bound per round (default 16)")
+    rd = rsub.add_parser(
+        "drain",
+        help="evacuate a node for maintenance and report when it is empty",
+    )
+    rd.add_argument("node", metavar="NODE", help="node id, e.g. node-3")
+    _add_chaos_flags(rd)
+    rd.add_argument("--duration", type=float, default=120.0,
+                    help="simulated seconds to run (default 120)")
+    rr = rsub.add_parser(
+        "run",
+        help="run the seeded chaos+churn scenario and report "
+             "guarantee-violation time (optionally vs. the static baseline)",
+    )
+    _add_chaos_flags(rr)
+    rr.add_argument("--duration", type=float, default=120.0,
+                    help="simulated seconds to run (default 120)")
+    rr.add_argument("--rebalance", dest="rebalance",
+                    action="store_true", default=True,
+                    help="enable the rebalance loop (default)")
+    rr.add_argument("--no-rebalance", dest="rebalance", action="store_false",
+                    help="static placement only")
+    rr.add_argument("--rebalance-every", type=int, default=5, metavar="K",
+                    help="planner period in control ticks (default 5)")
+    rr.add_argument("--baseline", action="store_true",
+                    help="also run the identical seeded scenario without "
+                         "the rebalancer and print the comparison")
+    rr.add_argument("--ledger", default=None, metavar="FILE",
+                    help="write the rebalance ledger JSONL here "
+                         "(for 'repro explain --move')")
 
     p9 = sub.add_parser(
         "serve-metrics",
@@ -158,6 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_controller_flags(p9)
 
     return parser
+
+
+def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
+    """Cluster-shape knobs shared by the ``rebalance`` subcommands."""
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="cluster size (default 8)")
+    parser.add_argument("--vms", type=int, default=300,
+                        help="initial VM population (default 300)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--degrade-rate", type=float, default=0.05,
+                        metavar="R",
+                        help="chaos events per second cluster-wide "
+                             "(default 0.05)")
 
 
 def _add_controller_flags(parser: argparse.ArgumentParser) -> None:
@@ -307,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "explain": _cmd_explain,
         "trace": _cmd_trace,
+        "rebalance": _cmd_rebalance,
         "serve-metrics": _cmd_serve_metrics,
     }[args.command]
     return command(args)
@@ -575,8 +645,36 @@ def _cmd_check_replay(args) -> int:
 def _cmd_explain(args) -> int:
     import os
 
+    if args.move is not None:
+        from repro.rebalance.ledger import (
+            explain_move_from_entries,
+            load_rebalance_jsonl,
+        )
+
+        path = args.ledger
+        if path is None:
+            if args.obs_dir is None:
+                print("explain: need --ledger FILE or --obs-dir DIR",
+                      file=sys.stderr)
+                return 2
+            path = os.path.join(args.obs_dir, "rebalance.jsonl")
+        if not os.path.exists(path):
+            print(f"explain: no rebalance ledger at {path}", file=sys.stderr)
+            return 2
+        entries = load_rebalance_jsonl(path)
+        try:
+            print(explain_move_from_entries(entries, args.move, args.round))
+        except KeyError as exc:
+            print(f"explain: {exc.args[0]}", file=sys.stderr)
+            return 1
+        return 0
+
     from repro.obs.ledger import explain_from_entries, load_jsonl
 
+    if args.vm is None or args.vcpu is None or args.tick is None:
+        print("explain: need --vm/--vcpu/--tick (cap derivation) or "
+              "--move VM (migration derivation)", file=sys.stderr)
+        return 2
     path = args.ledger
     if path is None:
         if args.obs_dir is None:
@@ -593,6 +691,143 @@ def _cmd_explain(args) -> int:
     except KeyError as exc:
         print(f"explain: {exc.args[0]}", file=sys.stderr)
         return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# rebalance subcommands
+# ---------------------------------------------------------------------------
+
+
+def _chaos_cluster(args, *, duration: float):
+    from repro.rebalance import ChaosConfig, ChurnChaosCluster
+
+    return ChurnChaosCluster(ChaosConfig(
+        nodes=args.nodes,
+        duration_s=duration,
+        seed=args.seed,
+        initial_vms=args.vms,
+        degrade_rate_per_s=args.degrade_rate,
+    ))
+
+
+def _cmd_rebalance(args) -> int:
+    return {
+        "plan": _cmd_rebalance_plan,
+        "drain": _cmd_rebalance_drain,
+        "run": _cmd_rebalance_run,
+    }[args.rebalance_command](args)
+
+
+def _cmd_rebalance_plan(args) -> int:
+    from repro.rebalance import MigrationPlanner, PlannerConfig
+
+    cluster = _chaos_cluster(args, duration=args.at)
+    cluster.run()  # let chaos+churn build pressure before the snapshot
+    view = cluster.rebalance_view()
+    planner = MigrationPlanner(
+        config=PlannerConfig(max_moves_per_round=args.max_moves)
+    )
+    try:
+        plan = planner.plan(view, drain=args.drain, seed=args.seed)
+    except KeyError as exc:
+        print(f"rebalance plan: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"snapshot at t={view.t:g}: {len(view.nodes)} nodes, "
+          f"{len(view.vms)} VMs, pressure {plan.pressure_before_mhz:.1f} MHz, "
+          f"fragmentation {plan.fragmentation_before:.3f}")
+    headers = ["vm", "from", "to", "goal", "MHz", "cost s", "score MHz/s"]
+    rows = [
+        [m.vm_name, m.source, m.target, m.reason,
+         f"{m.demand_mhz:.0f}", f"{m.cost_s:.2f}", f"{m.score:.1f}"]
+        for m in plan.moves
+    ]
+    print(render_table(headers, rows, title="planned moves (dry run)"))
+    print(f"  planned pressure after: {plan.pressure_after_mhz:.1f} MHz; "
+          f"total cost {plan.total_cost_s():.1f} s")
+    if plan.skipped:
+        skipped = ", ".join(
+            f"{k}={v}" for k, v in sorted(plan.skipped.items())
+        )
+        print(f"  skipped: {skipped}")
+    return 0
+
+
+def _cmd_rebalance_drain(args) -> int:
+    from repro.rebalance import MigrationPlanner, RebalanceLoop
+
+    cluster = _chaos_cluster(args, duration=args.duration)
+    if args.node not in cluster.nodes:
+        print(f"rebalance drain: unknown node {args.node!r} "
+              f"(cluster has node-0..node-{args.nodes - 1})", file=sys.stderr)
+        return 2
+    loop = RebalanceLoop(MigrationPlanner(), every=1, seed=args.seed)
+    loop.request_drain(args.node)
+    cluster.run(loop)
+    remaining = len(cluster.nodes[args.node].vms)
+    moves = loop.migrations_total.get("drain", 0)
+    if remaining == 0:
+        print(f"{args.node} drained: {moves} VM(s) evacuated in "
+              f"{loop.rounds_total} round(s); safe to power off")
+        return 0
+    print(f"{args.node} NOT fully drained after {args.duration:g} s: "
+          f"{remaining} VM(s) remain ({moves} moved) — run longer or "
+          f"free capacity elsewhere", file=sys.stderr)
+    return 1
+
+
+def _cmd_rebalance_run(args) -> int:
+    from repro.sim.scenario import ClusterScenario
+
+    def scenario(rebalance: bool) -> ClusterScenario:
+        return ClusterScenario(
+            name=f"chaos-churn-{args.nodes}",
+            nodes=args.nodes,
+            vms=args.vms,
+            duration=args.duration,
+            seed=args.seed,
+            degrade_rate_per_s=args.degrade_rate,
+            rebalance=rebalance,
+            rebalance_every=args.rebalance_every,
+            ledger_path=args.ledger if rebalance else None,
+        )
+
+    result = scenario(args.rebalance).run()
+    rows = [[
+        "rebalanced" if args.rebalance else "static",
+        f"{result.violation_vm_seconds:.0f}",
+        f"{result.downtime_vm_seconds:.1f}",
+        f"{result.total_bad_vm_seconds:.0f}",
+        str(result.migrations),
+    ]]
+    if args.baseline and args.rebalance:
+        base = scenario(False).run()
+        rows.append([
+            "static baseline",
+            f"{base.violation_vm_seconds:.0f}",
+            f"{base.downtime_vm_seconds:.1f}",
+            f"{base.total_bad_vm_seconds:.0f}",
+            str(base.migrations),
+        ])
+    headers = ["run", "violation VM-s", "downtime VM-s", "total VM-s",
+               "migrations"]
+    print(render_table(
+        headers, rows,
+        title=f"chaos+churn: {args.nodes} nodes, {args.vms} VMs, "
+              f"{args.duration:g} s, seed {args.seed}",
+    ))
+    if args.baseline and args.rebalance:
+        if result.total_bad_vm_seconds < base.total_bad_vm_seconds:
+            ratio = base.total_bad_vm_seconds / max(
+                result.total_bad_vm_seconds, 1e-9
+            )
+            print(f"  rebalancer reduced guarantee-violation time "
+                  f"{ratio:.1f}x vs. static placement")
+        else:
+            print("  WARNING: rebalancer did not beat the static baseline")
+    if args.ledger and args.rebalance:
+        print(f"  ledger: {args.ledger} "
+              f"(try: python -m repro explain --move <vm> --ledger {args.ledger})")
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.core.metrics_export import (
     render_controller,
     render_fault_stats,
     render_node_manager,
+    render_rebalance,
     render_report,
     render_resilience,
     render_span_seconds,
@@ -80,6 +81,7 @@ __all__ = [
     "render_controller",
     "render_fault_stats",
     "render_node_manager",
+    "render_rebalance",
     "render_report",
     "render_resilience",
 ]

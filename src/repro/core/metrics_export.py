@@ -323,6 +323,84 @@ def render_span_seconds(
     return buf.text() if own else ""
 
 
+def _render_histogram(
+    buf: MetricsBuffer,
+    family: str,
+    hist,
+    labels: Dict[str, str],
+    extra_labels: Optional[Dict[str, str]],
+) -> None:
+    """One Prometheus histogram: cumulative buckets + _sum + _count."""
+    for bound, cum in zip(hist.bounds, hist.cumulative()):
+        buf.add(
+            family, cum, suffix="_bucket",
+            **_merged({**labels, "le": f"{bound:g}"}, extra_labels),
+        )
+    buf.add(
+        family, hist.count, suffix="_bucket",
+        **_merged({**labels, "le": "+Inf"}, extra_labels),
+    )
+    buf.add(family, hist.sum, suffix="_sum", **_merged(labels, extra_labels))
+    buf.add(family, hist.count, suffix="_count", **_merged(labels, extra_labels))
+
+
+def render_rebalance(
+    loop,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a rebalance loop's counters and latency histograms.
+
+    ``loop`` is duck-typed (:class:`repro.rebalance.loop.RebalanceLoop`
+    — importing it here would close a cycle through ``checking``):
+    anything with ``rounds_total`` / ``migrations_total`` /
+    ``migrations_rejected`` / ``round_hist`` / ``migration_hist``
+    renders.  ``vfreq_migrations_total`` is labelled by the planner
+    goal (``reason``) so a dashboard can tell pressure relief from
+    consolidation and drains apart.
+    """
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_rebalance_rounds_total", "counter",
+        "Rebalance planner rounds executed.",
+    )
+    buf.add(
+        "vfreq_rebalance_rounds_total", loop.rounds_total,
+        **_merged({}, extra_labels),
+    )
+    buf.family(
+        "vfreq_migrations_total", "counter",
+        "Live migrations started, per planner goal.",
+    )
+    for reason, count in sorted(loop.migrations_total.items()):
+        buf.add(
+            "vfreq_migrations_total", count,
+            **_merged({"reason": reason}, extra_labels),
+        )
+    if loop.migrations_rejected:
+        buf.add(
+            "vfreq_migrations_total", loop.migrations_rejected,
+            **_merged({"reason": "rejected"}, extra_labels),
+        )
+    buf.family(
+        "vfreq_migration_seconds", "histogram",
+        "Distribution of live-migration durations.",
+    )
+    _render_histogram(
+        buf, "vfreq_migration_seconds", loop.migration_hist, {}, extra_labels
+    )
+    buf.family(
+        "vfreq_rebalance_round_seconds", "histogram",
+        "Distribution of planner round wall time.",
+    )
+    _render_histogram(
+        buf, "vfreq_rebalance_round_seconds", loop.round_hist, {}, extra_labels
+    )
+    return buf.text() if own else ""
+
+
 def render_invariants(
     checker,
     buf: Optional[MetricsBuffer] = None,

@@ -1,0 +1,457 @@
+"""Coarse flow-level chaos+churn cluster for rebalancer benchmarks.
+
+The full-fidelity :class:`~repro.sim.cluster_engine.ClusterSimulation`
+runs every controller stage per vCPU per tick — perfect for tens of
+nodes, hopeless for the headline 200-node / 10k-VM scenario.  This
+module keeps only the accounting the rebalancer acts on: per-node
+committed guarantee MHz vs. *effective* capacity (chaos events degrade
+a node for a window, which is exactly what turns an Eq. 7-admissible
+placement into guarantee pressure), Poisson VM churn, and pre-copy
+migration blackouts.
+
+Every random draw — arrival gaps, templates, lifetimes, chaos event
+times/targets/severities — is pre-generated at construction from the
+seed (repo convention, cf. :mod:`repro.checking.fuzz`), so a run is a
+pure function of its :class:`ChaosConfig` and the rebalance
+configuration: same seed, same result, byte for byte.
+
+The violation metric is conservative and symmetric: a node whose
+committed guarantees exceed its effective capacity cannot honour
+*anyone's* vCFS floor, so every hosted VM accrues
+``violation_vm_seconds`` for the step; the rebalancer's own migration
+stop-and-copy pauses are charged to ``downtime_vm_seconds`` and
+included in its headline total, so moving VMs is never free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.placement.migration import MigrationModel
+from repro.rebalance.view import ClusterStateView, InFlightView, NodeView, VmView
+
+#: (vcpus, vfreq_mhz, memory_mb, weight) — the small-heavy template mix
+#: used by the placement benchmarks (§IV-C scale).
+DEFAULT_TEMPLATE_MIX = (
+    (2, 500.0, 1024, 24),
+    (4, 1200.0, 4096, 2),
+    (4, 1800.0, 4096, 1),
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One fully-seeded chaos+churn scenario."""
+
+    nodes: int = 200
+    duration_s: float = 300.0
+    dt_s: float = 1.0
+    seed: int = 0
+    initial_vms: int = 10_000
+    #: Poisson arrival rate; by default sized to hold the population
+    #: steady against ``mean_lifetime_s`` departures.
+    arrival_rate_per_s: Optional[float] = None
+    mean_lifetime_s: float = 1800.0
+    #: Cluster-wide Poisson rate of chaos (degradation) events.
+    degrade_rate_per_s: float = 0.02
+    #: Effective capacity multiplier while an event is active.
+    degrade_factor: float = 0.6
+    degrade_duration_s: float = 60.0
+    #: CHETEMI-like node: 40 logical CPUs x 2400 MHz, 256 GB.
+    node_capacity_mhz: float = 96_000.0
+    node_fmax_mhz: float = 2400.0
+    node_memory_mb: int = 256 * 1024
+    template_mix: Tuple[Tuple[int, float, int, int], ...] = DEFAULT_TEMPLATE_MIX
+
+    @property
+    def effective_arrival_rate(self) -> float:
+        if self.arrival_rate_per_s is not None:
+            return self.arrival_rate_per_s
+        return self.initial_vms / self.mean_lifetime_s
+
+
+@dataclass
+class _ChaosNode:
+    node_id: str
+    capacity_mhz: float
+    fmax_mhz: float
+    memory_mb: int
+    effective_mhz: float
+    committed_mhz: float = 0.0
+    committed_mb: int = 0
+    vms: set = field(default_factory=set)
+    #: Demand/memory reserved by migrations still in flight to us.
+    planned_in_mhz: float = 0.0
+    planned_in_mb: int = 0
+    violation_steps: int = 0
+
+
+@dataclass
+class _ChaosVm:
+    name: str
+    vcpus: int
+    vfreq_mhz: float
+    memory_mb: int
+    node_id: str
+    departs_at: float
+
+    @property
+    def demand_mhz(self) -> float:
+        return self.vcpus * self.vfreq_mhz
+
+
+@dataclass
+class _Flight:
+    vm_name: str
+    source: str
+    target: str
+    arrives_at: float
+    downtime_s: float
+    #: Sizes reserved on the target at start, released at completion
+    #: even if the VM departs mid-flight.
+    demand_mhz: float
+    memory_mb: int
+
+
+@dataclass(frozen=True)
+class MigrationStarted:
+    """What :meth:`ChurnChaosCluster.start_migration` hands the loop."""
+
+    vm_name: str
+    source: str
+    target: str
+    duration_s: float
+
+
+@dataclass
+class ChaosResult:
+    """Headline accounting for one run."""
+
+    config_seed: int
+    nodes: int
+    duration_s: float
+    violation_vm_seconds: float = 0.0
+    downtime_vm_seconds: float = 0.0
+    migrations: int = 0
+    rejected_arrivals: int = 0
+    arrivals: int = 0
+    departures: int = 0
+    chaos_events: int = 0
+    final_vms: int = 0
+    rebalance_rounds: int = 0
+
+    @property
+    def total_bad_vm_seconds(self) -> float:
+        """Violation time plus self-inflicted migration downtime."""
+        return self.violation_vm_seconds + self.downtime_vm_seconds
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "violation_vm_seconds": self.violation_vm_seconds,
+            "downtime_vm_seconds": self.downtime_vm_seconds,
+            "total_bad_vm_seconds": self.total_bad_vm_seconds,
+            "migrations": self.migrations,
+            "rejected_arrivals": self.rejected_arrivals,
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "chaos_events": self.chaos_events,
+            "final_vms": self.final_vms,
+            "rebalance_rounds": self.rebalance_rounds,
+        }
+
+
+class ChurnChaosCluster:
+    """Flow-level 200-node cluster implementing the rebalance port."""
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        migration_model: Optional[MigrationModel] = None,
+    ) -> None:
+        self.config = config
+        self.model = migration_model or MigrationModel()
+        self.t = 0.0
+        self.nodes: Dict[str, _ChaosNode] = {}
+        width = len(str(max(config.nodes - 1, 1)))
+        for i in range(config.nodes):
+            node_id = f"node-{i:0{width}d}"
+            self.nodes[node_id] = _ChaosNode(
+                node_id=node_id,
+                capacity_mhz=config.node_capacity_mhz,
+                fmax_mhz=config.node_fmax_mhz,
+                memory_mb=config.node_memory_mb,
+                effective_mhz=config.node_capacity_mhz,
+            )
+        self.vms: Dict[str, _ChaosVm] = {}
+        self.in_flight: List[_Flight] = []
+        self.result = ChaosResult(
+            config_seed=config.seed,
+            nodes=config.nodes,
+            duration_s=config.duration_s,
+        )
+        self._vm_seq = 0
+        self._pregenerate(random.Random(config.seed))
+        for template in self._initial_templates:
+            if self._admit(template) is None:
+                self.result.rejected_arrivals += 1
+
+    # -- seeded pre-generation ------------------------------------------------
+
+    def _pregenerate(self, rng: random.Random) -> None:
+        cfg = self.config
+        weights = [w for (_, _, _, w) in cfg.template_mix]
+        #: (vcpus, vfreq, memory, lifetime) per initial VM.
+        self._initial_templates = [
+            self._draw_template(rng, weights, lifetime_from=0.0)
+            for _ in range(cfg.initial_vms)
+        ]
+        #: Arrival stream: (t, vcpus, vfreq, memory, lifetime).
+        self._arrivals: List[Tuple[float, int, float, int, float]] = []
+        rate = cfg.effective_arrival_rate
+        t = 0.0
+        while rate > 0:
+            t += rng.expovariate(rate)
+            if t >= cfg.duration_s:
+                break
+            vcpus, vfreq, mem, life = self._draw_template(
+                rng, weights, lifetime_from=t
+            )
+            self._arrivals.append((t, vcpus, vfreq, mem, life))
+        #: Chaos stream: (start, end, node_index, factor).
+        self._chaos: List[Tuple[float, float, int, float]] = []
+        t = 0.0
+        while cfg.degrade_rate_per_s > 0:
+            t += rng.expovariate(cfg.degrade_rate_per_s)
+            if t >= cfg.duration_s:
+                break
+            self._chaos.append((
+                t,
+                t + cfg.degrade_duration_s,
+                rng.randrange(cfg.nodes),
+                cfg.degrade_factor,
+            ))
+
+    def _draw_template(
+        self, rng: random.Random, weights: List[int], *, lifetime_from: float
+    ) -> Tuple[int, float, int, float]:
+        vcpus, vfreq, mem, _ = rng.choices(
+            self.config.template_mix, weights=weights
+        )[0]
+        lifetime = rng.expovariate(1.0 / self.config.mean_lifetime_s)
+        return (vcpus, vfreq, mem, lifetime_from + lifetime)
+
+    # -- placement / lifecycle ------------------------------------------------
+
+    def _admit(self, template: Tuple[int, float, int, float]) -> Optional[str]:
+        """Best-fit Eq. 7 admission against effective capacity."""
+        vcpus, vfreq, mem, departs_at = template
+        demand = vcpus * vfreq
+        best: Optional[Tuple[float, str]] = None
+        for node_id in self.nodes:
+            node = self.nodes[node_id]
+            free = (
+                node.effective_mhz - node.committed_mhz - node.planned_in_mhz
+            )
+            if demand > free + 1e-6 or vfreq > node.fmax_mhz:
+                continue
+            if node.committed_mb + node.planned_in_mb + mem > node.memory_mb:
+                continue
+            key = (free - demand, node_id)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        node = self.nodes[best[1]]
+        name = f"vm-{self._vm_seq}"
+        self._vm_seq += 1
+        self.vms[name] = _ChaosVm(
+            name=name,
+            vcpus=vcpus,
+            vfreq_mhz=vfreq,
+            memory_mb=mem,
+            node_id=node.node_id,
+            departs_at=departs_at,
+        )
+        node.vms.add(name)
+        node.committed_mhz += demand
+        node.committed_mb += mem
+        return name
+
+    def _destroy(self, vm_name: str) -> None:
+        vm = self.vms.pop(vm_name)
+        node = self.nodes[vm.node_id]
+        node.vms.discard(vm_name)
+        node.committed_mhz -= vm.demand_mhz
+        node.committed_mb -= vm.memory_mb
+
+    # -- the rebalance port ---------------------------------------------------
+
+    def rebalance_view(self) -> ClusterStateView:
+        nodes: Dict[str, NodeView] = {}
+        vms: Dict[str, VmView] = {}
+        for node_id, node in self.nodes.items():
+            nodes[node_id] = NodeView(
+                node_id=node_id,
+                capacity_mhz=node.effective_mhz,
+                fmax_mhz=node.fmax_mhz,
+                memory_mb=node.memory_mb,
+                committed_mhz=node.committed_mhz + node.planned_in_mhz,
+                committed_memory_mb=node.committed_mb + node.planned_in_mb,
+                demand_mhz=node.committed_mhz,
+                violations=node.violation_steps,
+                vm_names=tuple(sorted(node.vms)),
+            )
+        for vm in self.vms.values():
+            vms[vm.name] = VmView(
+                name=vm.name,
+                node_id=vm.node_id,
+                vcpus=vm.vcpus,
+                vfreq_mhz=vm.vfreq_mhz,
+                memory_mb=vm.memory_mb,
+            )
+        in_flight = tuple(
+            InFlightView(
+                vm_name=f.vm_name,
+                source=f.source,
+                target=f.target,
+                arrives_at=f.arrives_at,
+            )
+            for f in self.in_flight
+        )
+        return ClusterStateView(
+            t=self.t, nodes=nodes, vms=vms, in_flight=in_flight
+        )
+
+    def start_migration(self, vm_name: str, target_id: str) -> MigrationStarted:
+        vm = self.vms.get(vm_name)
+        if vm is None:
+            raise KeyError(f"unknown VM: {vm_name}")
+        if any(f.vm_name == vm_name for f in self.in_flight):
+            raise ValueError(f"{vm_name} is already migrating")
+        target = self.nodes.get(target_id)
+        if target is None:
+            raise KeyError(f"unknown node: {target_id}")
+        if target_id == vm.node_id:
+            raise ValueError(f"{vm_name} already lives on {target_id}")
+        free = (
+            target.effective_mhz - target.committed_mhz - target.planned_in_mhz
+        )
+        if vm.demand_mhz > free + 1e-6:
+            raise ValueError(
+                f"{target_id} cannot host {vm_name}: Eq. 7 headroom "
+                f"{free:.1f} MHz < {vm.demand_mhz:.1f} MHz"
+            )
+        if target.committed_mb + target.planned_in_mb + vm.memory_mb > target.memory_mb:
+            raise ValueError(f"{target_id} cannot host {vm_name}: memory")
+        duration = self.model.total_seconds(vm.memory_mb)
+        # Reserve the target for the whole flight so churn admission and
+        # later rounds both see the claim.
+        target.planned_in_mhz += vm.demand_mhz
+        target.planned_in_mb += vm.memory_mb
+        self.in_flight.append(_Flight(
+            vm_name=vm_name,
+            source=vm.node_id,
+            target=target_id,
+            arrives_at=self.t + duration,
+            downtime_s=self.model.downtime_s,
+            demand_mhz=vm.demand_mhz,
+            memory_mb=vm.memory_mb,
+        ))
+        self.result.migrations += 1
+        return MigrationStarted(
+            vm_name=vm_name,
+            source=vm.node_id,
+            target=target_id,
+            duration_s=duration,
+        )
+
+    def _complete_migrations(self) -> None:
+        still: List[_Flight] = []
+        for flight in self.in_flight:
+            if flight.arrives_at > self.t:
+                still.append(flight)
+                continue
+            target = self.nodes[flight.target]
+            vm = self.vms.get(flight.vm_name)
+            target.planned_in_mhz -= flight.demand_mhz
+            target.planned_in_mb -= flight.memory_mb
+            if vm is None:
+                continue  # departed mid-flight; reservation released
+            source = self.nodes[vm.node_id]
+            source.vms.discard(vm.name)
+            source.committed_mhz -= vm.demand_mhz
+            source.committed_mb -= vm.memory_mb
+            target.vms.add(vm.name)
+            target.committed_mhz += vm.demand_mhz
+            target.committed_mb += vm.memory_mb
+            vm.node_id = flight.target
+            self.result.downtime_vm_seconds += flight.downtime_s
+        self.in_flight = still
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self, rebalance_loop=None, metrics=None) -> ChaosResult:
+        """Step the scenario to its end; ``metrics`` is duck-typed
+        (:class:`repro.sim.metrics.ClusterRebalanceMetrics` fits)."""
+        cfg = self.config
+        steps = int(round(cfg.duration_s / cfg.dt_s))
+        arrivals = iter(self._arrivals)
+        next_arrival = next(arrivals, None)
+        chaos = sorted(self._chaos)
+        chaos_idx = 0
+        active_chaos: List[Tuple[float, int, float]] = []  # (end, node, factor)
+        for step in range(1, steps + 1):
+            self.t = step * cfg.dt_s
+            self._complete_migrations()
+            # Chaos events: start what begins this step, expire the rest.
+            while chaos_idx < len(chaos) and chaos[chaos_idx][0] <= self.t:
+                start, end, node_index, factor = chaos[chaos_idx]
+                chaos_idx += 1
+                active_chaos.append((end, node_index, factor))
+                self.result.chaos_events += 1
+            active_chaos = [c for c in active_chaos if c[0] > self.t]
+            degraded: Dict[int, float] = {}
+            for _, node_index, factor in active_chaos:
+                degraded[node_index] = min(
+                    degraded.get(node_index, 1.0), factor
+                )
+            for i, node in enumerate(self.nodes.values()):
+                node.effective_mhz = node.capacity_mhz * degraded.get(i, 1.0)
+            # Departures.
+            for vm_name in [
+                v.name for v in self.vms.values() if v.departs_at <= self.t
+            ]:
+                self._destroy(vm_name)
+                self.result.departures += 1
+            # Arrivals.
+            while next_arrival is not None and next_arrival[0] <= self.t:
+                _, vcpus, vfreq, mem, departs = next_arrival
+                self.result.arrivals += 1
+                if self._admit((vcpus, vfreq, mem, departs)) is None:
+                    self.result.rejected_arrivals += 1
+                next_arrival = next(arrivals, None)
+            # Guarantee-violation accounting (the headline metric).
+            pressure = 0.0
+            violating = 0
+            for node in self.nodes.values():
+                deficit = node.committed_mhz - node.effective_mhz
+                if deficit > 1e-6 and node.vms:
+                    node.violation_steps += 1
+                    violating += len(node.vms)
+                    pressure += deficit
+                    self.result.violation_vm_seconds += cfg.dt_s * len(node.vms)
+            if metrics is not None:
+                metrics.record_step(
+                    self.t,
+                    pressure_mhz=pressure,
+                    violating_vms=violating,
+                    in_flight=len(self.in_flight),
+                )
+            if rebalance_loop is not None:
+                rebalance_loop.maybe_rebalance(self, step)
+        self.result.final_vms = len(self.vms)
+        if rebalance_loop is not None:
+            self.result.rebalance_rounds = rebalance_loop.rounds_total
+        return self.result

@@ -1,0 +1,178 @@
+"""What-if cluster state the planner mutates instead of the world.
+
+A :class:`SimulatedState` is a mutable copy of a
+:class:`~repro.rebalance.view.ClusterStateView`: the planner applies
+candidate moves here (tracking planned-in / planned-out sets per node),
+checks Eq. 7 and memory admissibility after every tentative move, and
+only the moves that survive become a :class:`~repro.rebalance.planner.
+MigrationPlan`.  Live controllers, hypervisors and node managers are
+never touched.
+
+``allocation_ratio`` is the conventional overcommit knob: it scales
+every node's frequency capacity, exactly like the consolidation factor
+of :class:`~repro.placement.constraints.CoreSplittingConstraint`.  At
+the default 1.0 the planner only produces strictly Eq. 7-admissible
+placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.rebalance.view import ClusterStateView, NodeView, VmView
+
+#: Same float slack as the placement constraint (Eq. 7 comparisons).
+EPS_MHZ = 1e-6
+
+
+@dataclass
+class SimulatedNode:
+    """One node's running account inside the what-if state."""
+
+    node_id: str
+    capacity_mhz: float
+    fmax_mhz: float
+    memory_mb: int
+    committed_mhz: float
+    committed_memory_mb: int
+    powered_on: bool = True
+    vm_names: Set[str] = field(default_factory=set)
+    planned_in: Set[str] = field(default_factory=set)
+    planned_out: Set[str] = field(default_factory=set)
+
+    @property
+    def pressure_mhz(self) -> float:
+        return max(0.0, self.committed_mhz - self.capacity_mhz)
+
+    @property
+    def headroom_mhz(self) -> float:
+        return self.capacity_mhz - self.committed_mhz
+
+    @property
+    def utilisation(self) -> float:
+        if self.capacity_mhz <= 0:
+            return float("inf") if self.committed_mhz > 0 else 0.0
+        return self.committed_mhz / self.capacity_mhz
+
+
+class SimulatedState:
+    """Mutable planning copy of one cluster snapshot."""
+
+    def __init__(
+        self,
+        view: ClusterStateView,
+        *,
+        allocation_ratio: float = 1.0,
+        pinned: Iterable[str] = (),
+    ) -> None:
+        if allocation_ratio <= 0:
+            raise ValueError("allocation_ratio must be positive")
+        self.allocation_ratio = allocation_ratio
+        self.pinned: Set[str] = set(pinned) | set(view.pinned_nodes())
+        self.immovable: Set[str] = set(view.migrating_vms())
+        self.vms: Dict[str, VmView] = dict(view.vms)
+        self._host: Dict[str, str] = {
+            vm.name: vm.node_id for vm in view.vms.values()
+        }
+        self.nodes: Dict[str, SimulatedNode] = {}
+        for node_id, node in view.nodes.items():
+            self.nodes[node_id] = SimulatedNode(
+                node_id=node_id,
+                capacity_mhz=node.capacity_mhz * allocation_ratio,
+                fmax_mhz=node.fmax_mhz,
+                memory_mb=node.memory_mb,
+                committed_mhz=node.committed_mhz,
+                committed_memory_mb=node.committed_memory_mb,
+                powered_on=node.powered_on,
+                vm_names=set(node.vm_names),
+            )
+
+    def clone(self) -> "SimulatedState":
+        """Independent copy for trial placements (consolidation probes)."""
+        out = object.__new__(SimulatedState)
+        out.allocation_ratio = self.allocation_ratio
+        out.pinned = set(self.pinned)
+        out.immovable = set(self.immovable)
+        out.vms = dict(self.vms)
+        out._host = dict(self._host)
+        out.nodes = {
+            node_id: SimulatedNode(
+                node_id=n.node_id,
+                capacity_mhz=n.capacity_mhz,
+                fmax_mhz=n.fmax_mhz,
+                memory_mb=n.memory_mb,
+                committed_mhz=n.committed_mhz,
+                committed_memory_mb=n.committed_memory_mb,
+                powered_on=n.powered_on,
+                vm_names=set(n.vm_names),
+                planned_in=set(n.planned_in),
+                planned_out=set(n.planned_out),
+            )
+            for node_id, n in self.nodes.items()
+        }
+        return out
+
+    # -- queries --------------------------------------------------------------
+
+    def host_of(self, vm_name: str) -> str:
+        return self._host[vm_name]
+
+    def movable_vms_on(self, node_id: str) -> List[VmView]:
+        """Hosted VMs eligible to leave, largest demand first (ties by
+        name) — the order bin-packing heuristics want."""
+        out = [
+            self.vms[name]
+            for name in self.nodes[node_id].vm_names
+            if name not in self.immovable
+        ]
+        out.sort(key=lambda v: (-v.demand_mhz, v.name))
+        return out
+
+    def can_accept(self, vm_name: str, node_id: str) -> bool:
+        """Would Eq. 7 (x allocation_ratio) and memory still hold?"""
+        vm = self.vms.get(vm_name)
+        node = self.nodes.get(node_id)
+        if vm is None or node is None:
+            return False
+        if not node.powered_on or node_id in self.pinned:
+            return False
+        if node_id == self._host[vm_name]:
+            return False
+        if vm.vfreq_mhz > node.fmax_mhz:
+            return False  # a guarantee above F_MAX is unsatisfiable (Eq. 2)
+        freq_ok = (
+            node.committed_mhz + vm.demand_mhz <= node.capacity_mhz + EPS_MHZ
+        )
+        mem_ok = node.committed_memory_mb + vm.memory_mb <= node.memory_mb
+        return freq_ok and mem_ok
+
+    def fit_after_mhz(self, vm_name: str, node_id: str) -> float:
+        """Headroom the target would keep — the best-fit sort key."""
+        return (
+            self.nodes[node_id].headroom_mhz - self.vms[vm_name].demand_mhz
+        )
+
+    # -- mutation -------------------------------------------------------------
+
+    def apply_move(self, vm_name: str, target_id: str) -> None:
+        """Commit one tentative move inside the what-if state."""
+        if vm_name in self.immovable:
+            raise ValueError(f"{vm_name} is pinned by an in-flight migration")
+        if not self.can_accept(vm_name, target_id):
+            raise ValueError(
+                f"{vm_name} does not fit on {target_id} "
+                "(Eq. 7, memory, power or pinning)"
+            )
+        vm = self.vms[vm_name]
+        source = self.nodes[self._host[vm_name]]
+        target = self.nodes[target_id]
+        source.vm_names.discard(vm_name)
+        source.planned_out.add(vm_name)
+        source.committed_mhz -= vm.demand_mhz
+        source.committed_memory_mb -= vm.memory_mb
+        target.vm_names.add(vm_name)
+        target.planned_in.add(vm_name)
+        target.committed_mhz += vm.demand_mhz
+        target.committed_memory_mb += vm.memory_mb
+        self._host[vm_name] = target_id

@@ -1,11 +1,18 @@
 """Discrete-time simulation engine, scenario builders and metrics."""
 
-from repro.sim.metrics import TimeSeries, MetricsRecorder
+from repro.sim.metrics import (
+    ClusterRebalanceMetrics,
+    MetricsRecorder,
+    TimeSeries,
+)
 from repro.sim.engine import Simulation
 from repro.sim.scenario import (
+    ClusterScenario,
     Scenario,
     ScenarioResult,
     VMGroup,
+    chaos_churn,
+    chaos_churn_small,
     eval1_chetemi,
     eval1_chiclet,
     eval2_chetemi,
@@ -29,10 +36,14 @@ __all__ = [
     "RemoteNodeError",
     "TimeSeries",
     "MetricsRecorder",
+    "ClusterRebalanceMetrics",
     "Simulation",
     "Scenario",
     "ScenarioResult",
+    "ClusterScenario",
     "VMGroup",
+    "chaos_churn",
+    "chaos_churn_small",
     "eval1_chetemi",
     "eval1_chiclet",
     "eval2_chetemi",

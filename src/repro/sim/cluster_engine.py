@@ -69,6 +69,12 @@ class _InFlightMigration:
     started_at: float
     arrives_at: float
     downtime_s: float
+    #: Sizes the VM will claim on the target at cut-over; admission and
+    #: target picking must count these or two concurrent migrations can
+    #: over-commit one node.
+    vcpus: int = 0
+    memory_mb: int = 0
+    demand_mhz: float = 0.0
 
 
 class ClusterSimulation:
@@ -89,6 +95,7 @@ class ClusterSimulation:
         keep_reports: bool = False,
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        rebalancer=None,
     ) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
@@ -105,6 +112,11 @@ class ClusterSimulation:
         self._in_flight: List[_InFlightMigration] = []
         self._paused_until: Dict[str, float] = {}
         self._subticks = 0
+        #: Optional :class:`repro.rebalance.loop.RebalanceLoop` (duck-
+        #: typed: anything with ``maybe_rebalance(cluster, tick)``),
+        #: invoked once per control period after the reactive policy.
+        self.rebalancer = rebalancer
+        self._control_ticks = 0
 
         self.runtimes: Dict[str, NodeRuntime] = {}
         for k, cnode in enumerate(cluster):
@@ -193,6 +205,9 @@ class ClusterSimulation:
                 )
                 if self.migration_policy is not None:
                     self._check_migrations()
+                self._control_ticks += 1
+                if self.rebalancer is not None:
+                    self.rebalancer.maybe_rebalance(self, self._control_ticks)
 
     def _active(self) -> List[NodeRuntime]:
         return [r for r in self.runtimes.values() if r.powered_on]
@@ -240,13 +255,33 @@ class ClusterSimulation:
         if not target.powered_on:
             raise ValueError(f"target node {target_id} is powered off")
         vm = source.hypervisor.vm(vm_name)
-        if target.hypervisor.enforce_admission and not target.hypervisor.admits(
-            vm.template
-        ):
-            raise ValueError(
-                f"target node {target_id} cannot guarantee {vm_name} "
-                f"(Eq. 7 or memory would be violated)"
+        if target.hypervisor.enforce_admission:
+            if not target.hypervisor.admits(vm.template):
+                raise ValueError(
+                    f"target node {target_id} cannot guarantee {vm_name} "
+                    f"(Eq. 7 or memory would be violated)"
+                )
+            # Admission must also cover migrations still in flight to the
+            # same target, or concurrent moves over-commit it at cut-over.
+            planned_mhz, planned_mb = self._planned_in(target_id)
+            spec = target.node.spec
+            freq_ok = (
+                target.hypervisor.committed_mhz()
+                + planned_mhz
+                + vm.template.demand_mhz
+                <= spec.capacity_mhz + 1e-9
             )
+            mem_ok = (
+                target.hypervisor.committed_memory_mb()
+                + planned_mb
+                + vm.template.memory_mb
+                <= spec.memory_mb
+            )
+            if not (freq_ok and mem_ok):
+                raise ValueError(
+                    f"target node {target_id} cannot guarantee {vm_name} "
+                    f"once in-flight migrations land (Eq. 7 or memory)"
+                )
         transfer = self.migration_model.transfer_seconds(vm.template.memory_mb)
         event = MigrationEvent(
             t=self.t,
@@ -263,6 +298,9 @@ class ClusterSimulation:
                 started_at=self.t,
                 arrives_at=self.t + transfer,
                 downtime_s=self.migration_model.downtime_s,
+                vcpus=vm.template.vcpus,
+                memory_mb=vm.template.memory_mb,
+                demand_mhz=vm.template.demand_mhz,
             )
         )
         self.migrations.append(event)
@@ -310,14 +348,28 @@ class ClusterSimulation:
             self.start_migration(victim, target_id)
             policy.reset(runtime.node_id)
 
+    def _planned_in(self, node_id: str) -> Tuple[float, int]:
+        """(MHz, MB) already promised to a node by in-flight migrations."""
+        mhz = 0.0
+        mb = 0
+        for mig in self._in_flight:
+            if mig.target == node_id:
+                mhz += mig.demand_mhz
+                mb += mig.memory_mb
+        return mhz, mb
+
     def _pick_target(self, source: NodeRuntime, vm_name: str) -> Optional[str]:
-        """Least-loaded powered-on node that can take the VM by vCPU count."""
+        """Least-loaded powered-on node that can take the VM by vCPU
+        count, counting vCPUs of migrations already in flight to it."""
         vm = source.hypervisor.vm(vm_name)
         best: Tuple[float, Optional[str]] = (float("inf"), None)
         for runtime in self._active():
             if runtime.node_id == source.node_id:
                 continue
             hosted_vcpus = sum(v.num_vcpus for v in runtime.hypervisor.vms)
+            hosted_vcpus += sum(
+                m.vcpus for m in self._in_flight if m.target == runtime.node_id
+            )
             if hosted_vcpus + vm.num_vcpus > runtime.node.spec.logical_cpus:
                 continue
             load = runtime.demand_load()
@@ -326,6 +378,12 @@ class ClusterSimulation:
         return best[1]
 
     # -- queries --------------------------------------------------------------------------
+
+    def rebalance_view(self):
+        """Frozen snapshot for the rebalance control plane."""
+        from repro.rebalance.view import ClusterStateView
+
+        return ClusterStateView.from_cluster_sim(self)
 
     def _runtime_hosting(self, vm_name: str) -> Optional[NodeRuntime]:
         for runtime in self.runtimes.values():

@@ -143,3 +143,36 @@ class MetricsRecorder:
         if not values:
             raise ValueError("no data in the requested window")
         return float(np.mean(values))
+
+
+@dataclass
+class ClusterRebalanceMetrics:
+    """Per-step cluster series for chaos+churn rebalancer runs.
+
+    Duck-typed into :meth:`repro.rebalance.ChurnChaosCluster.run` —
+    anything with ``record_step`` works; this implementation keeps the
+    three series ``analysis/`` plots: total Eq. 7 deficit, the VM count
+    on violating nodes, and migrations in flight.
+    """
+
+    pressure_mhz: TimeSeries = field(
+        default_factory=lambda: TimeSeries("cluster_pressure_mhz")
+    )
+    violating_vms: TimeSeries = field(
+        default_factory=lambda: TimeSeries("violating_vms")
+    )
+    migrations_in_flight: TimeSeries = field(
+        default_factory=lambda: TimeSeries("migrations_in_flight")
+    )
+
+    def record_step(
+        self,
+        t: float,
+        *,
+        pressure_mhz: float,
+        violating_vms: int,
+        in_flight: int,
+    ) -> None:
+        self.pressure_mhz.append(t, pressure_mhz)
+        self.violating_vms.append(t, float(violating_vms))
+        self.migrations_in_flight.append(t, float(in_flight))

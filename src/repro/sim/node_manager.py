@@ -241,6 +241,20 @@ class NodeManager:
                 violations += checker.violations_total
         return checks, violations
 
+    def invariant_violations_by_node(self) -> Dict[str, int]:
+        """Cumulative violation count per node (inline oracles only).
+
+        Nodes without an inline checker are omitted — the rebalancer's
+        :class:`~repro.rebalance.view.ClusterStateView` reads this to
+        weight guarantee pressure with observed violations.
+        """
+        out: Dict[str, int] = {}
+        for node_id, controller in self.controllers.items():
+            checker = getattr(controller, "invariant_checker", None)
+            if checker is not None:
+                out[node_id] = checker.violations_total
+        return out
+
 
 # -- sharded (multi-process) control plane --------------------------------------
 #
@@ -324,6 +338,11 @@ def _shard_tick(
         manager.backend_stats(),
         manager.invariant_totals(),
     )
+
+
+def _shard_invariants_by_node() -> Dict[str, int]:
+    """(worker) Per-node cumulative violation counts for this shard."""
+    return _WORKER_SHARD[1].invariant_violations_by_node()  # type: ignore[index]
 
 
 def _shard_register_vm(node_id: str, vm_name: str, vfreq_mhz: float) -> None:
@@ -551,3 +570,24 @@ class ShardedNodeManager:
     def invariant_totals(self) -> Tuple[int, int]:
         """(checks, violations) cluster-wide (as of the latest tick)."""
         return self._invariant_totals
+
+    def invariant_violations_by_node(self) -> Dict[str, int]:
+        """Per-node cumulative violation counts, merged across shards.
+
+        A dead shard contributes nothing this round (its nodes are
+        already flagged via ``error_counts``); the counters are
+        cumulative in-worker, so the next successful round trip catches
+        the totals up.
+        """
+        self.start()
+        futures = {
+            shard_id: pool.submit(_shard_invariants_by_node)
+            for shard_id, pool in self._pools.items()
+        }
+        out: Dict[str, int] = {}
+        for shard_id, future in futures.items():
+            try:
+                out.update(future.result())
+            except Exception:
+                continue
+        return out

@@ -358,3 +358,137 @@ def eval2_chetemi(
 def _check_scale(time_scale: float) -> None:
     if time_scale <= 0:
         raise ValueError("time_scale must be positive")
+
+
+# --------------------------------------------------------------------------
+# Cluster-scale chaos+churn scenarios (the rebalancer's proving ground)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterScenario:
+    """A seeded chaos+churn cluster, with or without the rebalancer.
+
+    Wraps :class:`repro.rebalance.ChurnChaosCluster` the way
+    :class:`Scenario` wraps the single-node engine: all knobs in one
+    dataclass, ``build()`` for the pieces, ``run()`` for the headline
+    :class:`repro.rebalance.ChaosResult`.  With ``rebalance=False`` the
+    same seeded scenario runs static-placement — the baseline every
+    rebalancer result is compared against.
+    """
+
+    name: str
+    nodes: int = 200
+    vms: int = 10_000
+    duration: float = 300.0
+    dt: float = 1.0
+    seed: int = 7
+    degrade_rate_per_s: float = 0.02
+    degrade_factor: float = 0.6
+    degrade_duration_s: float = 60.0
+    mean_lifetime_s: float = 1800.0
+    rebalance: bool = True
+    rebalance_every: int = 5
+    max_moves_per_round: int = 16
+    max_moves_per_node: int = 4
+    ledger_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.vms < 0:
+            raise ValueError("nodes must be positive and vms >= 0")
+        if self.duration <= 0 or self.dt <= 0:
+            raise ValueError("duration and dt must be positive")
+        if self.rebalance_every < 1:
+            raise ValueError("rebalance_every must be >= 1")
+
+    def chaos_config(self):
+        from repro.rebalance import ChaosConfig
+
+        return ChaosConfig(
+            nodes=self.nodes,
+            duration_s=self.duration,
+            dt_s=self.dt,
+            seed=self.seed,
+            initial_vms=self.vms,
+            mean_lifetime_s=self.mean_lifetime_s,
+            degrade_rate_per_s=self.degrade_rate_per_s,
+            degrade_factor=self.degrade_factor,
+            degrade_duration_s=self.degrade_duration_s,
+        )
+
+    def build(self):
+        """(cluster, loop-or-None), ready for ``cluster.run(loop)``."""
+        from repro.placement.migration import MigrationModel
+        from repro.rebalance import (
+            ChurnChaosCluster,
+            MigrationPlanner,
+            PlannerConfig,
+            RebalanceLedger,
+            RebalanceLoop,
+        )
+
+        cluster = ChurnChaosCluster(self.chaos_config())
+        loop = None
+        if self.rebalance:
+            loop = RebalanceLoop(
+                MigrationPlanner(
+                    MigrationModel(),
+                    PlannerConfig(
+                        max_moves_per_round=self.max_moves_per_round,
+                        max_moves_per_node=self.max_moves_per_node,
+                    ),
+                ),
+                every=self.rebalance_every,
+                seed=self.seed,
+                ledger=RebalanceLedger(path=self.ledger_path),
+            )
+        return cluster, loop
+
+    def run(self):
+        """One full run; the loop (if any) is closed, flushing JSONL."""
+        cluster, loop = self.build()
+        try:
+            return cluster.run(loop)
+        finally:
+            if loop is not None:
+                loop.close()
+
+
+def chaos_churn(
+    *,
+    rebalance: bool = True,
+    seed: int = 7,
+    duration: float = 300.0,
+    ledger_path: Optional[str] = None,
+) -> ClusterScenario:
+    """The headline 200-node / 10k-VM chaos+churn scenario."""
+    return ClusterScenario(
+        name="chaos-churn-200",
+        nodes=200,
+        vms=10_000,
+        duration=duration,
+        seed=seed,
+        rebalance=rebalance,
+        ledger_path=ledger_path,
+    )
+
+
+def chaos_churn_small(
+    *,
+    rebalance: bool = True,
+    seed: int = 7,
+    duration: float = 120.0,
+    ledger_path: Optional[str] = None,
+) -> ClusterScenario:
+    """8-node smoke version for CI (`make bench-rebalance-smoke`)."""
+    return ClusterScenario(
+        name="chaos-churn-8",
+        nodes=8,
+        vms=300,
+        duration=duration,
+        seed=seed,
+        degrade_rate_per_s=0.05,
+        rebalance=rebalance,
+        rebalance_every=2,
+        ledger_path=ledger_path,
+    )

@@ -211,3 +211,47 @@ class TestClusterRendering:
                 rf'vfreq_market_initial_cycles\{{node="{node_id}"\}} ', out
             ), node_id
         assert "vfreq_nodes_managed 2" in out
+
+
+class TestRebalanceRendering:
+    def _warmed_loop(self):
+        from repro.rebalance.loop import RebalanceLoop
+        from tests.rebalance.test_loop import pressured_cluster
+
+        loop = RebalanceLoop(every=1)
+        loop.rebalance_once(pressured_cluster())
+        return loop
+
+    def test_rebalance_families_render(self):
+        from repro.core.metrics_export import render_rebalance
+
+        out = render_rebalance(self._warmed_loop())
+        assert "vfreq_rebalance_rounds_total 1" in out
+        assert re.search(r'vfreq_migrations_total\{reason="pressure"\} \d+', out)
+        assert 'vfreq_migration_seconds_bucket{le="+Inf"}' in out
+        assert "vfreq_rebalance_round_seconds_count 1" in out
+
+    def test_rejected_moves_get_their_own_reason(self):
+        from repro.core.metrics_export import render_rebalance
+        from repro.rebalance.loop import RebalanceLoop
+        from tests.rebalance.test_loop import pressured_cluster
+
+        loop = RebalanceLoop(every=1)
+        loop.rebalance_once(pressured_cluster(fail_for={"a"}))
+        out = render_rebalance(loop)
+        assert re.search(r'vfreq_migrations_total\{reason="rejected"\} 1', out)
+
+    def test_extra_labels_and_shared_buffer(self):
+        from repro.core.metrics_export import MetricsBuffer, render_rebalance
+
+        buf = MetricsBuffer()
+        assert render_rebalance(
+            self._warmed_loop(), buf, extra_labels={"cluster": "c0"}
+        ) == ""
+        out = buf.text()
+        assert 'vfreq_rebalance_rounds_total{cluster="c0"} 1' in out
+        assert re.search(
+            r'vfreq_migrations_total\{cluster="c0",reason="pressure"\}', out
+        ) or re.search(
+            r'vfreq_migrations_total\{reason="pressure",cluster="c0"\}', out
+        )

@@ -1,0 +1,141 @@
+"""MigrationModel cost maths and ThresholdMigrationPolicy hysteresis."""
+
+import pytest
+
+from repro.placement.migration import (
+    MigrationEvent,
+    MigrationModel,
+    ThresholdMigrationPolicy,
+)
+
+
+class TestMigrationModel:
+    def test_transfer_seconds_formula(self):
+        model = MigrationModel(link_gbps=10.0, dirty_page_overhead=1.3)
+        # 4096 MB * 8e6 bits/MB * 1.3 / 10e9 bits/s = 4.26 s
+        assert model.transfer_seconds(4096) == pytest.approx(4.26, abs=1e-3)
+
+    def test_total_adds_downtime(self):
+        model = MigrationModel(downtime_s=0.5)
+        assert model.total_seconds(4096) == pytest.approx(
+            model.transfer_seconds(4096) + 0.5
+        )
+
+    def test_transfer_scales_linearly_with_memory(self):
+        model = MigrationModel()
+        assert model.transfer_seconds(8192) == pytest.approx(
+            2 * model.transfer_seconds(4096)
+        )
+
+    def test_faster_link_is_proportionally_cheaper(self):
+        slow = MigrationModel(link_gbps=10.0)
+        fast = MigrationModel(link_gbps=40.0)
+        assert fast.transfer_seconds(4096) == pytest.approx(
+            slow.transfer_seconds(4096) / 4.0
+        )
+
+    def test_no_dirty_pages_lower_bound(self):
+        # overhead factor 1.0 is the theoretical minimum: one clean pass
+        clean = MigrationModel(dirty_page_overhead=1.0)
+        dirty = MigrationModel(dirty_page_overhead=1.5)
+        assert clean.transfer_seconds(1024) < dirty.transfer_seconds(1024)
+
+    @pytest.mark.parametrize("memory_mb", [0, -1, -4096])
+    def test_nonpositive_memory_rejected(self, memory_mb):
+        with pytest.raises(ValueError, match="memory_mb"):
+            MigrationModel().transfer_seconds(memory_mb)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"link_gbps": 0.0},
+            {"link_gbps": -10.0},
+            {"dirty_page_overhead": 0.99},
+            {"downtime_s": -0.1},
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MigrationModel(**kwargs)
+
+    def test_zero_downtime_allowed(self):
+        model = MigrationModel(downtime_s=0.0)
+        assert model.total_seconds(1024) == model.transfer_seconds(1024)
+
+    def test_frozen(self):
+        model = MigrationModel()
+        with pytest.raises(AttributeError):
+            model.link_gbps = 1.0
+
+
+class TestThresholdMigrationPolicy:
+    def test_trips_only_after_patience_consecutive_strikes(self):
+        policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=3)
+        assert policy.observe("n0", 1.5) is False
+        assert policy.observe("n0", 1.5) is False
+        assert policy.observe("n0", 1.5) is True
+
+    def test_dip_below_watermark_resets_strikes(self):
+        policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=2)
+        assert policy.observe("n0", 1.5) is False
+        assert policy.observe("n0", 0.9) is False  # resets
+        assert policy.observe("n0", 1.5) is False  # strike 1 again
+        assert policy.observe("n0", 1.5) is True
+
+    def test_exactly_at_watermark_is_not_a_strike(self):
+        policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=1)
+        assert policy.observe("n0", 1.0) is False
+        assert policy.observe("n0", 1.0 + 1e-9) is True
+
+    def test_strikes_tracked_per_node(self):
+        policy = ThresholdMigrationPolicy(patience=2)
+        assert policy.observe("n0", 2.0) is False
+        assert policy.observe("n1", 2.0) is False
+        assert policy.observe("n0", 2.0) is True
+        assert policy.observe("n1", 2.0) is True
+
+    def test_reset_clears_strike_count(self):
+        policy = ThresholdMigrationPolicy(patience=2)
+        policy.observe("n0", 2.0)
+        policy.reset("n0")
+        assert policy.observe("n0", 2.0) is False
+
+    def test_stays_tripped_while_overloaded(self):
+        policy = ThresholdMigrationPolicy(patience=2)
+        policy.observe("n0", 2.0)
+        policy.observe("n0", 2.0)
+        assert policy.observe("n0", 2.0) is True  # strike 3 >= patience
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"high_watermark": 0.0}, {"patience": 0}]
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ThresholdMigrationPolicy(**kwargs)
+
+
+class TestPickVictim:
+    VMS = [("a", 2, 0.5), ("b", 4, 1.5), ("c", 2, 0.8)]
+
+    def test_smallest_covering_vm_wins(self):
+        # overload 0.6: both b (1.5) and c (0.8) cover it; c is smaller
+        assert ThresholdMigrationPolicy.pick_victim(self.VMS, 0.6) == "c"
+
+    def test_falls_back_to_largest_when_none_covers(self):
+        assert ThresholdMigrationPolicy.pick_victim(self.VMS, 5.0) == "b"
+
+    def test_empty_vm_list_gives_none(self):
+        assert ThresholdMigrationPolicy.pick_victim([], 1.0) is None
+
+    def test_tie_broken_by_name(self):
+        vms = [("z", 2, 1.0), ("a", 2, 1.0)]
+        # covering path takes min (first name), fallback takes max (last)
+        assert ThresholdMigrationPolicy.pick_victim(vms, 0.5) == "a"
+        assert ThresholdMigrationPolicy.pick_victim(vms, 9.9) == "z"
+
+
+def test_migration_event_is_plain_record():
+    event = MigrationEvent(t=1.0, vm_name="vm-0", source="n0",
+                           target="n1", duration_s=4.76)
+    assert event.vm_name == "vm-0"
+    assert event.duration_s == pytest.approx(4.76)

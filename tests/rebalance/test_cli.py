@@ -1,0 +1,104 @@
+"""CLI surface: the `repro rebalance` family and `explain --move`."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_rebalance_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rebalance"])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["rebalance", "plan"])
+        assert args.rebalance_command == "plan"
+        assert (args.nodes, args.vms, args.seed) == (8, 300, 7)
+        assert args.at == 60.0
+        assert args.drain == [] or args.drain is None
+
+    def test_run_rebalance_toggle(self):
+        args = build_parser().parse_args(["rebalance", "run"])
+        assert args.rebalance is True
+        args = build_parser().parse_args(["rebalance", "run", "--no-rebalance"])
+        assert args.rebalance is False
+
+    def test_explain_accepts_move_form(self):
+        args = build_parser().parse_args(["explain", "--move", "vm-3"])
+        assert args.move == "vm-3"
+        assert args.vm is None
+
+
+class TestCommands:
+    def test_plan_dry_run_prints_moves(self, capsys):
+        rc = main([
+            "rebalance", "plan", "--nodes", "6", "--vms", "260",
+            "--at", "75", "--degrade-rate", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "planned moves (dry run)" in out
+        assert "snapshot at t=75" in out
+
+    def test_plan_unknown_drain_node_errors(self, capsys):
+        rc = main([
+            "rebalance", "plan", "--nodes", "4", "--drain", "ghost",
+        ])
+        assert rc == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_drain_evacuates_node(self, capsys):
+        rc = main([
+            "rebalance", "drain", "node-3", "--nodes", "6", "--vms", "260",
+            "--duration", "90",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "node-3 drained" in out
+
+    def test_drain_unknown_node_errors(self, capsys):
+        rc = main(["rebalance", "drain", "node-99", "--nodes", "4"])
+        assert rc == 2
+        assert "unknown node" in capsys.readouterr().err
+
+    def test_run_with_baseline_compares(self, capsys, tmp_path):
+        ledger = str(tmp_path / "rebalance.jsonl")
+        rc = main([
+            "rebalance", "run", "--nodes", "6", "--vms", "260",
+            "--duration", "60", "--baseline", "--ledger", ledger,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "static baseline" in out
+        assert "rebalanced" in out
+        entries = [json.loads(l) for l in open(ledger) if l.strip()]
+        assert entries and all(e["kind"] == "round" for e in entries)
+
+    def test_explain_move_round_trips_through_ledger(self, capsys, tmp_path):
+        ledger = str(tmp_path / "rebalance.jsonl")
+        assert main([
+            "rebalance", "run", "--nodes", "6", "--vms", "260",
+            "--duration", "60", "--ledger", ledger,
+        ]) == 0
+        entries = [json.loads(l) for l in open(ledger) if l.strip()]
+        moved = [m["vm"] for e in entries for m in e["moves"] if m["executed"]]
+        assert moved, "expected at least one migration in 60 s"
+        capsys.readouterr()
+        rc = main(["explain", "--move", moved[0], "--ledger", ledger])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"migration derivation for {moved[0]}" in out
+
+    def test_explain_move_unknown_vm(self, capsys, tmp_path):
+        ledger = tmp_path / "rebalance.jsonl"
+        ledger.write_text("")
+        rc = main(["explain", "--move", "ghost", "--ledger", str(ledger)])
+        assert rc == 1
+        assert "no rebalance record" in capsys.readouterr().err
+
+    def test_explain_without_either_form_is_usage_error(self, capsys):
+        rc = main(["explain", "--ledger", "whatever.jsonl"])
+        assert rc == 2
+        assert "--move" in capsys.readouterr().err

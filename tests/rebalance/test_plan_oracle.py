@@ -1,0 +1,127 @@
+"""check_plan_admissible: the independent Eq. 7 oracle for plans."""
+
+import pytest
+
+from repro.checking.invariants import check_plan_admissible
+from repro.rebalance.planner import MigrationPlan, PlannedMove
+from repro.rebalance.view import InFlightView
+from tests.rebalance.conftest import make_view, vm
+
+
+def planned(vm_name, source, target, demand=1200.0, mb=512):
+    return PlannedMove(
+        vm_name=vm_name, source=source, target=target, reason="pressure",
+        demand_mhz=demand, memory_mb=mb, transfer_s=1.0, downtime_s=0.5,
+        cost_s=1.5, relief_mhz=demand, score=demand / 1.5,
+    )
+
+
+def plan_with(*moves):
+    return MigrationPlan(t=0.0, seed=0, moves=list(moves))
+
+
+class TestOracle:
+    def test_clean_plan_passes(self):
+        view = make_view({"n0": [vm("a")], "n1": []})
+        assert check_plan_admissible(view, plan_with(planned("a", "n0", "n1"))) == []
+
+    def test_unknown_vm(self):
+        view = make_view({"n0": [], "n1": []})
+        out = check_plan_admissible(view, plan_with(planned("ghost", "n0", "n1")))
+        assert any("does not exist" in v.message for v in out)
+
+    def test_double_move(self):
+        view = make_view({"n0": [vm("a")], "n1": [], "n2": []})
+        out = check_plan_admissible(
+            view,
+            plan_with(planned("a", "n0", "n1"), planned("a", "n0", "n2")),
+        )
+        assert any("twice" in v.message for v in out)
+
+    def test_vm_already_migrating(self):
+        view = make_view(
+            {"n0": [vm("a")], "n1": [], "n2": []},
+            in_flight=[InFlightView("a", "n0", "n1", arrives_at=1.0)],
+        )
+        out = check_plan_admissible(view, plan_with(planned("a", "n0", "n2")))
+        assert any("already migrating" in v.message for v in out)
+
+    def test_wrong_source(self):
+        view = make_view({"n0": [vm("a")], "n1": [], "n2": []})
+        out = check_plan_admissible(view, plan_with(planned("a", "n2", "n1")))
+        assert any("snapshot hosts it" in v.message for v in out)
+
+    def test_pinned_node_touched(self):
+        view = make_view(
+            {"n0": [vm("a"), vm("x")], "n1": [], "n2": []},
+            in_flight=[InFlightView("x", "n0", "n1", arrives_at=1.0)],
+        )
+        out = check_plan_admissible(view, plan_with(planned("a", "n0", "n2")))
+        assert any("pinned" in v.message for v in out)
+
+    def test_target_missing_or_off(self):
+        view = make_view({"n0": [vm("a")], "n1": []}, powered_off=["n1"])
+        out = check_plan_admissible(view, plan_with(planned("a", "n0", "n1")))
+        assert any("powered off" in v.message for v in out)
+        out = check_plan_admissible(view, plan_with(planned("a", "n0", "nX")))
+        assert any("missing" in v.message for v in out)
+
+    def test_vfreq_above_target_fmax(self):
+        view = make_view({"n0": [vm("a", 1, 3000.0)], "n1": []}, fmax_mhz=2400.0)
+        out = check_plan_admissible(
+            view, plan_with(planned("a", "n0", "n1", demand=3000.0))
+        )
+        assert any("Eq. 2" in v.message for v in out)
+
+    def test_cumulative_overcommit_caught(self):
+        # each move alone fits; both together over-commit n1 by 1200 MHz
+        view = make_view(
+            {"n0": [vm("a", 4, 1800.0), vm("b", 4, 1800.0)],
+             "n1": [vm("c", 4, 1800.0)]},
+            capacity_mhz=12000.0,
+        )
+        out = check_plan_admissible(
+            view,
+            plan_with(
+                planned("a", "n0", "n1", demand=7200.0),
+                planned("b", "n0", "n1", demand=7200.0),
+            ),
+        )
+        assert any("over-commits n1" in v.message for v in out)
+
+    def test_memory_overcommit_caught(self):
+        view = make_view(
+            {"n0": [vm("a", 1, 100.0, 20000)], "n1": [vm("b", 1, 100.0, 20000)]},
+            memory_mb=32768, capacity_mhz=96000.0,
+        )
+        out = check_plan_admissible(
+            view, plan_with(planned("a", "n0", "n1", demand=100.0, mb=20000))
+        )
+        assert any("memory" in v.message for v in out)
+
+    def test_allocation_ratio_scales_the_limit(self):
+        view = make_view(
+            {"n0": [vm("a", 4, 1800.0)], "n1": [vm("b", 4, 1800.0)]},
+            capacity_mhz=9600.0,
+        )
+        move = planned("a", "n0", "n1", demand=7200.0)
+        assert check_plan_admissible(view, plan_with(move))  # 14400 > 9600
+        assert check_plan_admissible(
+            view, plan_with(move), allocation_ratio=1.5
+        ) == []  # 14400 <= 14400
+
+    def test_source_relief_counted_for_receivers(self):
+        # a and b swap hosts: both nodes receive, but each also sheds,
+        # so the post-plan totals stay within capacity.
+        view = make_view(
+            {"n0": [vm("a", 4, 2400.0)], "n1": [vm("b", 4, 2400.0)]},
+            capacity_mhz=9600.0,
+        )
+        out = check_plan_admissible(
+            view,
+            plan_with(
+                planned("a", "n0", "n1", demand=9600.0),
+                planned("b", "n1", "n0", demand=9600.0),
+            ),
+        )
+        assert out == []

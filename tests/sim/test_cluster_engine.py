@@ -141,6 +141,51 @@ class TestMigration:
         assert "a" in {v.name for v in sim.runtimes["n1"].hypervisor.vms}
 
 
+class TestConcurrentMigrationAdmission:
+    """In-flight migrations must count against the target's headroom:
+    two concurrent moves may not over-commit one node at cut-over."""
+
+    def _sim_with_one_slot_free(self, link_gbps=0.1):
+        # n2 hosts 7 x 1200 MHz of its 9600: exactly one slot left
+        model = MigrationModel(link_gbps=link_gbps)
+        sim = ClusterSimulation(tiny_cluster(3), dt=0.5, migration_model=model)
+        deploy(sim, {
+            "n0": ["a"], "n1": ["b"], "n2": [f"c{i}" for i in range(7)],
+        })
+        return sim
+
+    def test_in_flight_reservation_blocks_second_migration(self):
+        sim = self._sim_with_one_slot_free()  # slow link: stays in flight
+        sim.start_migration("a", "n2")
+        with pytest.raises(ValueError, match="in-flight"):
+            sim.start_migration("b", "n2")
+
+    def test_reservation_released_when_migration_lands(self):
+        sim = self._sim_with_one_slot_free(link_gbps=10.0)
+        sim.start_migration("a", "n2")
+        sim.run(5.0)  # a lands on n2, reservation becomes real commitment
+        assert len(sim._in_flight) == 0
+        # the slot is now genuinely taken: plain admission refuses b
+        with pytest.raises(ValueError, match="Eq. 7 or memory"):
+            sim.start_migration("b", "n2")
+
+    def test_pick_target_counts_in_flight_vcpus(self):
+        # n1: 7 hosted + 1 in flight = 8/8 vcpus; n2 hosts 8/8.  The
+        # policy target picker must see n1 as full and find nothing.
+        model = MigrationModel(link_gbps=0.1)
+        sim = ClusterSimulation(
+            tiny_cluster(3), dt=0.5, migration_model=model,
+            enforce_admission=False,
+        )
+        deploy(sim, {
+            "n0": ["a"],
+            "n1": [f"b{i}" for i in range(7)],
+            "n2": [f"c{i}" for i in range(8)],
+        })
+        sim.start_migration("c0", "n1")
+        assert sim._pick_target(sim.runtimes["n0"], "a") is None
+
+
 class TestMigrationPolicy:
     def test_policy_trips_after_patience(self):
         policy = ThresholdMigrationPolicy(high_watermark=1.0, patience=2)

@@ -91,6 +91,7 @@ EXPECTED = {
         "render_controller",
         "render_fault_stats",
         "render_node_manager",
+        "render_rebalance",
         "render_report",
         "render_resilience",
     },
@@ -102,10 +103,14 @@ EXPECTED = {
         "RemoteNodeError",
         "TimeSeries",
         "MetricsRecorder",
+        "ClusterRebalanceMetrics",
         "Simulation",
         "Scenario",
         "ScenarioResult",
+        "ClusterScenario",
         "VMGroup",
+        "chaos_churn",
+        "chaos_churn_small",
         "eval1_chetemi",
         "eval1_chiclet",
         "eval2_chetemi",
@@ -116,6 +121,29 @@ EXPECTED = {
         "ArrivalEvent",
         "CloudOperator",
         "generate_arrivals",
+    },
+    "repro.rebalance": {
+        "ChaosConfig",
+        "ChaosResult",
+        "ChurnChaosCluster",
+        "ClusterStateView",
+        "GOALS",
+        "InFlightView",
+        "MigrationPlan",
+        "MigrationPlanner",
+        "MigrationStarted",
+        "NodeView",
+        "PlannedMove",
+        "PlannerConfig",
+        "RebalanceLedger",
+        "RebalanceLoop",
+        "SimulatedNode",
+        "SimulatedState",
+        "VmView",
+        "explain_move",
+        "explain_move_from_entries",
+        "load_rebalance_jsonl",
+        "lookup_move",
     },
     "repro.obs": {
         "ObsConfig",
