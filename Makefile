@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke bench-rebalance-smoke obs-smoke examples figures clean
+.PHONY: install test coverage fuzz-smoke fuzz-long bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke bench-rebalance-smoke bench-cluster-smoke obs-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -70,6 +70,14 @@ bench-obs-smoke:
 # BENCH_rebalance.json baseline)
 bench-rebalance-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_rebalance.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
+
+# quick cluster-plane scale pass: 64-node chaos control loop on the
+# arrays dialect + 8-node threaded/sharded/shared-memory tick parity
+# (CI gates: snapshot+plan p50 and the sharded shm tick fit one control
+# period; no gated leaf regresses against the committed baselines)
+bench-cluster-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_cluster_scale.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
 
 # boot the /metrics endpoint on a live observed host and scrape it once

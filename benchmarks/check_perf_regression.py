@@ -3,8 +3,9 @@
 Compares each fresh ``benchmarks/results/BENCH_*.json`` (written by the
 benches) against the matching repo-root ``BENCH_*.json`` baseline that
 ships with the tree — ``BENCH_controller.json`` for the engine benches
-(``bench_scaling.py``, ``bench_bulk.py``), ``BENCH_rebalance.json`` for
-the rebalance control plane (``bench_rebalance.py``).  A pair is only
+(``bench_scaling.py``, ``bench_bulk.py``, ``bench_cluster_scale.py``'s
+node curve), ``BENCH_rebalance.json`` for the rebalance control plane
+(``bench_rebalance.py``, ``bench_cluster_scale.py``'s chaos1000).  A pair is only
 checked when both files exist, so each smoke target gates just its own
 bench; at least one pair must be comparable.  For every section present
 in both files of a pair, every gated "lower is better" timing leaf —
@@ -12,9 +13,12 @@ per-tick engine costs, the rebalance planner's per-round cost — may not
 exceed the baseline by more than the tolerance (default 25%, override
 with the ``PERF_TOLERANCE`` env var, e.g. ``PERF_TOLERANCE=0.40``)
 plus a small absolute slack for timer noise on sub-millisecond leaves.
-Scalar-engine numbers are reference points, not gates.  The 10k-VM
-section carries a hard budget instead of a relative gate for its worst
-tick: it must fit inside one control period regardless of baseline.
+Scalar-engine numbers are reference points, not gates.  Three sections
+carry hard budgets on top of the relative gates — they must fit inside
+one control period regardless of baseline: the 10k-VM tick's worst
+tick (``tick10k``), the 1000-node control loop's snapshot+plan p50
+(``chaos1000``), and the sharded/shared-memory cluster tick at the node
+curve's largest point (``node_curve``).
 
 Absolute timings wobble across machines; the committed baselines are
 refreshed together with any intentional perf change (see
@@ -87,18 +91,25 @@ def _check_pair(baseline_path, fresh_path, tolerance, failures):
             if now > limit:
                 failures.append((section, metric, base, now))
 
-        # hard budget: the dense-host tick fits one control period, full stop
+        # hard budgets: these fit one control period, full stop
+        budget_leaves = []
         if section.startswith("tick10k"):
+            budget_leaves.append("max_tick_seconds")
+        if section.startswith("chaos1000"):
+            budget_leaves.append("view_plan_p50_seconds_per_round")
+        if section.startswith("node_curve"):
+            budget_leaves.append("sharded_shm_max_tick_seconds")
+        for leaf in budget_leaves:
             budget = float(fresh[section].get("control_period_s", 1.0))
-            worst = float(fresh[section]["max_tick_seconds"])
+            worst = float(fresh[section][leaf])
             verdict = "ok" if worst < budget else "OVER BUDGET"
             print(
-                f"{section:>12} {'max_tick_seconds (hard budget)':<42} "
+                f"{section:>12} {leaf + ' (hard budget)':<42} "
                 f"budget {budget * 1e3:9.3f} ms  "
                 f"now {worst * 1e3:9.3f} ms  {verdict}"
             )
             if worst >= budget:
-                failures.append((section, "max_tick_seconds", budget, worst))
+                failures.append((section, leaf, budget, worst))
     return compared
 
 

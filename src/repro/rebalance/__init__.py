@@ -12,6 +12,7 @@ move explainable via the :class:`~repro.rebalance.ledger.
 RebalanceLedger` (``repro explain --move``).
 """
 
+from repro.rebalance.arrays import ClusterStateArrays, SimulatedArrays
 from repro.rebalance.chaos import (
     ChaosConfig,
     ChaosResult,
@@ -45,6 +46,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosResult",
     "ChurnChaosCluster",
+    "ClusterStateArrays",
     "ClusterStateView",
     "GOALS",
     "InFlightView",
@@ -56,6 +58,7 @@ __all__ = [
     "PlannerConfig",
     "RebalanceLedger",
     "RebalanceLoop",
+    "SimulatedArrays",
     "SimulatedNode",
     "SimulatedState",
     "VmView",

@@ -12,6 +12,13 @@ do):
   source+target pinned while in flight, VM paused ``downtime_s`` at
   cut-over).
 
+Drivers may additionally offer ``rebalance_arrays() ->
+ClusterStateArrays`` — the structure-of-arrays snapshot dialect.  The
+loop's ``dialect`` knob picks the spelling: ``"auto"`` (default) uses
+arrays whenever the driver provides them, ``"view"`` / ``"arrays"``
+force one side.  The planner emits bit-identical plans from either
+dialect, so the knob changes round latency, never behaviour.
+
 Each round: snapshot → plan (:class:`MigrationPlanner`, seeded) →
 cross-check the whole batch against the independent plan oracle
 (:func:`repro.checking.invariants.check_plan_admissible`; an
@@ -31,7 +38,6 @@ from repro.checking.invariants import check_plan_admissible
 from repro.obs.tracing import Histogram, Tracer
 from repro.rebalance.ledger import RebalanceLedger
 from repro.rebalance.planner import MigrationPlan, MigrationPlanner, PlannedMove
-from repro.rebalance.view import ClusterStateView
 
 
 class RebalanceLoop:
@@ -45,14 +51,18 @@ class RebalanceLoop:
         seed: int = 0,
         ledger: Optional[RebalanceLedger] = None,
         tracer: Optional[Tracer] = None,
+        dialect: str = "auto",
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
+        if dialect not in ("auto", "view", "arrays"):
+            raise ValueError("dialect must be 'auto', 'view' or 'arrays'")
         self.planner = planner or MigrationPlanner()
         self.every = every
         self.seed = seed
         self.ledger = ledger or RebalanceLedger()
         self.tracer = tracer
+        self.dialect = dialect
         self.drain: set = set()
         self.rounds_total = 0
         self.migrations_total: Dict[str, int] = {}
@@ -60,8 +70,11 @@ class RebalanceLoop:
         self.round_hist = Histogram()
         self.migration_hist = Histogram()
         self.round_durations: List[float] = []
+        self.snapshot_durations: List[float] = []
+        self.plan_durations: List[float] = []
         self.last_plan: Optional[MigrationPlan] = None
-        self.last_view: Optional[ClusterStateView] = None
+        #: Last snapshot, in whichever dialect the round used.
+        self.last_view = None
 
     # -- drain workflow -------------------------------------------------------
 
@@ -91,14 +104,25 @@ class RebalanceLoop:
             return None
         return self.rebalance_once(cluster)
 
+    def _snapshot(self, cluster):
+        """One cluster snapshot in the configured dialect."""
+        if self.dialect == "view":
+            return cluster.rebalance_view()
+        if self.dialect == "arrays":
+            return cluster.rebalance_arrays()
+        arrays = getattr(cluster, "rebalance_arrays", None)
+        return arrays() if arrays is not None else cluster.rebalance_view()
+
     def rebalance_once(self, cluster) -> MigrationPlan:
         """Snapshot, plan, oracle-check, execute, observe, ledger."""
         started = time.perf_counter()
-        view = cluster.rebalance_view()
+        view = self._snapshot(cluster)
+        snapshot_done = time.perf_counter()
         round_no = self.rounds_total
         plan = self.planner.plan(
             view, drain=sorted(self.drain & set(view.nodes)), seed=self.seed + round_no
         )
+        plan_done = time.perf_counter()
         violations = check_plan_admissible(
             view, plan, allocation_ratio=self.planner.config.allocation_ratio
         )
@@ -122,6 +146,8 @@ class RebalanceLoop:
         self.rounds_total += 1
         self.round_hist.observe(duration)
         self.round_durations.append(duration)
+        self.snapshot_durations.append(snapshot_done - started)
+        self.plan_durations.append(plan_done - snapshot_done)
         self.last_plan = plan
         self.last_view = view
         meta = {
@@ -137,6 +163,8 @@ class RebalanceLoop:
             "moves_by_reason": plan.moves_by_reason(),
             "skipped": dict(plan.skipped),
             "round_seconds": duration,
+            "snapshot_seconds": snapshot_done - started,
+            "plan_seconds": plan_done - snapshot_done,
         }
         self.ledger.record_round(meta, executed)
         if self.tracer is not None:

@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.placement.migration import MigrationModel
+from repro.rebalance.arrays import ClusterStateArrays, SimulatedArrays
 from repro.rebalance.simstate import SimulatedState
 from repro.rebalance.view import ClusterStateView, VmView
 
@@ -127,18 +130,33 @@ class MigrationPlanner:
 
     def plan(
         self,
-        view: ClusterStateView,
+        view: Union[ClusterStateView, ClusterStateArrays],
         *,
         drain: Sequence[str] = (),
         seed: int = 0,
     ) -> MigrationPlan:
-        """Score one round of moves against the frozen snapshot."""
+        """Score one round of moves against the frozen snapshot.
+
+        Accepts either snapshot dialect: the frozen-dataclass
+        :class:`ClusterStateView` plans through the scalar
+        :class:`SimulatedState`; the SoA :class:`ClusterStateArrays`
+        through :class:`SimulatedArrays`, whose best-fit target scan is
+        one masked NumPy reduction per move instead of a Python loop
+        over every node.  Both paths emit bit-identical plans for the
+        same snapshot + seed (fuzzed in ``tests/rebalance``).
+        """
         for node_id in drain:
             if node_id not in view.nodes:
                 raise KeyError(f"unknown drain node: {node_id}")
-        state = SimulatedState(
-            view, allocation_ratio=self.config.allocation_ratio
-        )
+        vectorized = isinstance(view, ClusterStateArrays)
+        if vectorized:
+            state: Union[SimulatedState, SimulatedArrays] = SimulatedArrays(
+                view, allocation_ratio=self.config.allocation_ratio
+            )
+        else:
+            state = SimulatedState(
+                view, allocation_ratio=self.config.allocation_ratio
+            )
         plan = MigrationPlan(
             t=view.t,
             seed=seed,
@@ -147,9 +165,23 @@ class MigrationPlanner:
         )
         # Seeded tie-break rank per node: stable within the round, so
         # equal-headroom targets resolve by seed instead of dict order.
+        # Both dialects draw the rank stream over the same sorted ids,
+        # so rank[node] is seed-equal across scalar and vectorized runs.
         rng = random.Random(seed)
         self._rank = {node_id: rng.random() for node_id in sorted(state.nodes)}
         self._node_moves: Dict[str, int] = {}
+        if vectorized:
+            self._slot_of: Optional[Dict[str, int]] = state.node_index
+            self._rank_arr: Optional[np.ndarray] = np.asarray(
+                [self._rank[node_id] for node_id in state.node_ids]
+            )
+            self._moves_arr: Optional[np.ndarray] = np.zeros(
+                len(state.node_ids), dtype=np.int64
+            )
+        else:
+            self._slot_of = None
+            self._rank_arr = None
+            self._moves_arr = None
         drain_set = set(drain)
 
         self._plan_pressure(state, plan, drain_set)
@@ -212,7 +244,7 @@ class MigrationPlanner:
                 n
                 for n in state.nodes.values()
                 if n.powered_on
-                and n.vm_names
+                and n.num_vms > 0
                 and n.node_id not in state.pinned
                 and n.node_id not in drain
                 and 0.0 < n.utilisation <= self.config.consolidate_below
@@ -224,7 +256,7 @@ class MigrationPlanner:
             if self._exhausted(plan):
                 return
             vms = state.movable_vms_on(node.node_id)
-            if not vms or len(vms) != len(node.vm_names):
+            if not vms or len(vms) != node.num_vms:
                 plan._skip("consolidate_pinned_vm")
                 continue
             # Trial on a clone: the node must empty completely within
@@ -277,7 +309,7 @@ class MigrationPlanner:
 
     def _pick_target(
         self,
-        state: SimulatedState,
+        state: Union[SimulatedState, SimulatedArrays],
         vm: VmView,
         *,
         exclude: set = frozenset(),
@@ -285,6 +317,10 @@ class MigrationPlanner:
     ) -> Optional[str]:
         """Best-fit: admissible node keeping the least headroom after
         the move; ties break by seeded rank, then id."""
+        if isinstance(state, SimulatedArrays):
+            return self._pick_target_arrays(
+                state, vm, exclude=exclude, used_only=used_only
+            )
         best: Optional[Tuple[float, float, str]] = None
         for node_id in sorted(state.nodes):
             node = state.nodes[node_id]
@@ -306,6 +342,37 @@ class MigrationPlanner:
             if best is None or key < best:
                 best = key
         return best[2] if best is not None else None
+
+    def _pick_target_arrays(
+        self,
+        state: SimulatedArrays,
+        vm: VmView,
+        *,
+        exclude: set = frozenset(),
+        used_only: bool = False,
+    ) -> Optional[str]:
+        """Vectorized best-fit — one masked NumPy pass over all nodes.
+
+        Replays the scalar selection exactly: the scalar loop keeps the
+        lexicographic minimum of ``(fit, rank, node_id)`` over sorted
+        ids, which equals min-fit → min-rank → lowest slot here because
+        node slots are in sorted-id order and both dialects compute
+        ``fit`` with the same subtraction order.
+        """
+        candidates, fit = state.admissible_fit(
+            vm.name,
+            exclude=exclude,
+            used_only=used_only,
+            node_moves=self._moves_arr,
+            max_moves_per_node=self.config.max_moves_per_node,
+        )
+        if candidates.size == 0:
+            return None
+        tied = candidates[fit == fit.min()]
+        if tied.size > 1:
+            ranks = self._rank_arr[tied]
+            tied = tied[ranks == ranks.min()]
+        return state.node_ids[int(tied[0])]
 
     def _move(
         self,
@@ -368,6 +435,9 @@ class MigrationPlanner:
         plan.considered += 1
         self._node_moves[source] = self._node_moves.get(source, 0) + 1
         self._node_moves[target] = self._node_moves.get(target, 0) + 1
+        if self._moves_arr is not None:
+            self._moves_arr[self._slot_of[source]] += 1
+            self._moves_arr[self._slot_of[target]] += 1
 
     def _exhausted(self, plan: MigrationPlan) -> bool:
         return len(plan.moves) >= self.config.max_moves_per_round

@@ -55,6 +55,10 @@ class SimulatedNode:
             return float("inf") if self.committed_mhz > 0 else 0.0
         return self.committed_mhz / self.capacity_mhz
 
+    @property
+    def num_vms(self) -> int:
+        return len(self.vm_names)
+
 
 class SimulatedState:
     """Mutable planning copy of one cluster snapshot."""

@@ -13,6 +13,7 @@ from repro.sim.scenario import (
     VMGroup,
     chaos_churn,
     chaos_churn_small,
+    chaos_churn_xl,
     eval1_chetemi,
     eval1_chiclet,
     eval2_chetemi,
@@ -44,6 +45,7 @@ __all__ = [
     "VMGroup",
     "chaos_churn",
     "chaos_churn_small",
+    "chaos_churn_xl",
     "eval1_chetemi",
     "eval1_chiclet",
     "eval2_chetemi",

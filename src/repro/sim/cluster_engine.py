@@ -385,6 +385,13 @@ class ClusterSimulation:
 
         return ClusterStateView.from_cluster_sim(self)
 
+    def rebalance_arrays(self):
+        """Structure-of-arrays spelling of the same snapshot — what the
+        rebalance loop's ``dialect="auto"`` picks at fleet scale."""
+        from repro.rebalance.arrays import ClusterStateArrays
+
+        return ClusterStateArrays.from_cluster_sim(self)
+
     def _runtime_hosting(self, vm_name: str) -> Optional[NodeRuntime]:
         for runtime in self.runtimes.values():
             try:

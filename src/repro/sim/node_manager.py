@@ -24,6 +24,7 @@ controller without ``.backend`` simply contributes nothing).
 from __future__ import annotations
 
 import multiprocessing
+from multiprocessing import resource_tracker
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -31,6 +32,11 @@ from repro.core.api import Controller
 from repro.core.backend import BackendStats
 from repro.core.controller import ControllerReport, StageTimings
 from repro.obs.logging import get_logger
+from repro.sim.shard_telemetry import (
+    Catalog,
+    ShardTelemetryReader,
+    ShardTelemetryWriter,
+)
 
 log = get_logger("repro.node_manager")
 
@@ -298,6 +304,10 @@ class Shard:
 #: global because every shard executor runs ``max_workers=1``.
 _WORKER_SHARD: Optional[Tuple[Shard, NodeManager]] = None
 
+#: Per-worker telemetry segment, created on the first shared-telemetry
+#: tick and reused (same buffers) for every tick after.
+_WORKER_TELEMETRY: Optional[ShardTelemetryWriter] = None
+
 
 def _shard_build(
     factory: Callable[[], Union[Shard, Dict[str, Controller]]],
@@ -338,6 +348,44 @@ def _shard_tick(
         manager.backend_stats(),
         manager.invariant_totals(),
     )
+
+
+def _shard_tick_telemetry(
+    t: float,
+) -> Tuple[Dict[str, Tuple[str, str]], str, int, Optional[Catalog]]:
+    """(worker) Barrier tick publishing into shared memory.
+
+    The compact sibling of :func:`_shard_tick`: per-node reports stay
+    in this process (``fetch_report`` pulls one on demand); what crosses
+    the pickle boundary is the error map, the segment name and the
+    catalog version — plus the catalog itself only when it changed.
+    """
+    global _WORKER_TELEMETRY
+    shard, manager = _WORKER_SHARD  # type: ignore[misc]
+    if shard.pre_tick is not None:
+        shard.pre_tick(t)
+    result = manager.tick(t)
+    errors = {
+        node_id: (type(exc).__name__, str(exc))
+        for node_id, exc in result.errors.items()
+    }
+    if _WORKER_TELEMETRY is None:
+        _WORKER_TELEMETRY = ShardTelemetryWriter()
+    name, version, catalog = _WORKER_TELEMETRY.publish(manager, t)
+    return errors, name, version, catalog
+
+
+def _shard_fetch_report(node_id: str) -> Optional[ControllerReport]:
+    """(worker) One node's latest full report (lazy explain path)."""
+    return _WORKER_SHARD[1].last_reports.get(node_id)  # type: ignore[index]
+
+
+def _shard_close_telemetry() -> None:
+    """(worker) Destroy this worker's telemetry segment, if any."""
+    global _WORKER_TELEMETRY
+    if _WORKER_TELEMETRY is not None:
+        _WORKER_TELEMETRY.close(unlink=True)
+        _WORKER_TELEMETRY = None
 
 
 def _shard_invariants_by_node() -> Dict[str, int]:
@@ -385,6 +433,21 @@ class ShardedNodeManager:
     ``{node_id: controller}`` dict.  Groups are built lazily inside the
     workers on first use — construct, then tick.
 
+    ``telemetry`` picks the tick's IPC lane:
+
+    * ``"reports"`` (default) — every per-node
+      :class:`~repro.core.controller.ControllerReport` is pickled back
+      each tick, exactly the original contract;
+    * ``"shared"`` — workers publish compact per-node / per-VM arrays
+      into a ``multiprocessing.shared_memory`` segment
+      (:mod:`repro.sim.shard_telemetry`) and ``tick`` returns an
+      *empty* :class:`TickResult` (errors still populated).  Aggregate
+      telemetry — ``aggregate_timings`` / ``backend_stats`` /
+      ``invariant_totals`` / ``invariant_violations_by_node`` — reads
+      the mapped segments with no extra round trips, and a full report
+      is fetched on demand via :meth:`fetch_report`.  This is the lane
+      that keeps a 1000-node tick inside the 1 s control period.
+
     Observability stays per-node and in-worker: the inner manager's
     flight-recorder trigger fires in the process that owns the hub, so
     black-box dumps land exactly as they do single-process.  What this
@@ -398,10 +461,16 @@ class ShardedNodeManager:
         ],
         *,
         mp_context: Optional[str] = None,
+        telemetry: str = "reports",
     ) -> None:
         if not shard_factories:
             raise ValueError("at least one shard factory is required")
+        if telemetry not in ("reports", "shared"):
+            raise ValueError(
+                f"telemetry must be 'reports' or 'shared', got {telemetry!r}"
+            )
         self.shard_factories = dict(shard_factories)
+        self.telemetry = telemetry
         methods = multiprocessing.get_all_start_methods()
         method = mp_context or ("fork" if "fork" in methods else "spawn")
         self._ctx = multiprocessing.get_context(method)
@@ -415,6 +484,8 @@ class ShardedNodeManager:
         self._started = False
         self._backend_stats = BackendStats()
         self._invariant_totals = (0, 0)
+        #: shared-telemetry segment views, one per shard.
+        self.readers: Dict[str, ShardTelemetryReader] = {}
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -422,6 +493,15 @@ class ShardedNodeManager:
         """Spin up one single-worker pool per shard and build in-worker."""
         if self._started:
             return
+        if self.telemetry == "shared":
+            # Start the parent's resource tracker *before* the pools
+            # fork: forked workers then inherit it, making it the one
+            # shared tracker the segment-cleanup bookkeeping assumes
+            # (see the shard_telemetry module docstring).  Without
+            # this, worker and parent each lazily start their own
+            # tracker and the parent's attach-registration is never
+            # balanced, warning about a phantom leak at exit.
+            resource_tracker.ensure_running()
         futures = {}
         for shard_id, factory in self.shard_factories.items():
             pool = ProcessPoolExecutor(max_workers=1, mp_context=self._ctx)
@@ -443,6 +523,12 @@ class ShardedNodeManager:
         pool = self._pools.pop(shard_id, None)
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        reader = self.readers.pop(shard_id, None)
+        if reader is not None:
+            # The dead worker never got to unlink its segment; do it
+            # here so restarts don't leak /dev/shm files.
+            reader.unlink()
+            reader.close()
         fresh = ProcessPoolExecutor(max_workers=1, mp_context=self._ctx)
         self._pools[shard_id] = fresh
         self.nodes_by_shard[shard_id] = fresh.submit(
@@ -450,9 +536,32 @@ class ShardedNodeManager:
         ).result()
 
     def close(self) -> None:
-        for pool in self._pools.values():
+        """Shut down workers and reset to a cleanly re-start()able state.
+
+        Telemetry segments are unlinked in-worker *before* the pools go
+        down, and every per-run registry (``nodes_by_shard``,
+        ``last_reports`` / ``last_errors`` / ``error_counts``, telemetry
+        sums, tick count) is cleared — a closed manager behaves exactly
+        like a freshly constructed one, so ``close(); start()`` round
+        trips (each ``start`` rebuilds the shards from their factories).
+        """
+        for shard_id, pool in self._pools.items():
+            try:
+                pool.submit(_shard_close_telemetry).result(timeout=30)
+            except Exception:
+                pass  # dead worker: nothing left to unlink in-process
             pool.shutdown(wait=True)
+        for reader in self.readers.values():
+            reader.close()
         self._pools = {}
+        self.readers = {}
+        self.nodes_by_shard = {}
+        self.last_reports = {}
+        self.last_errors = {}
+        self.error_counts = {}
+        self.ticks = 0
+        self._backend_stats = BackendStats()
+        self._invariant_totals = (0, 0)
         self._started = False
 
     def __enter__(self) -> "ShardedNodeManager":
@@ -497,12 +606,16 @@ class ShardedNodeManager:
     def tick(self, t: float) -> TickResult:
         """One iteration on every node of every shard; barrier semantics.
 
-        Telemetry sums (`backend_stats`, `invariant_totals`) are
-        refreshed from the workers as part of the same round trip —
-        counters are cumulative in the backends, so the latest snapshot
-        is the cluster total.
+        In ``"reports"`` mode telemetry sums (`backend_stats`,
+        `invariant_totals`) are refreshed from the workers as part of
+        the same round trip — counters are cumulative in the backends,
+        so the latest snapshot is the cluster total.  In ``"shared"``
+        mode the result carries errors only; everything else lands in
+        the shared-memory segments (see the class docstring).
         """
         self.start()
+        if self.telemetry == "shared":
+            return self._tick_shared(t)
         self.last_errors = {}
         result = TickResult()
         futures = {
@@ -534,6 +647,64 @@ class ShardedNodeManager:
         self.ticks += 1
         return result
 
+    def _tick_shared(self, t: float) -> TickResult:
+        """Barrier tick over the compact shared-memory lane."""
+        self.last_errors = {}
+        result = TickResult()
+        futures = {
+            shard_id: pool.submit(_shard_tick_telemetry, t)
+            for shard_id, pool in self._pools.items()
+        }
+        stats = BackendStats()
+        checks = violations = 0
+        for shard_id, future in futures.items():
+            try:
+                errors, segment, version, catalog = future.result()
+            except Exception as exc:
+                for node_id in self.nodes_by_shard.get(shard_id, []):
+                    self._record_error(node_id, exc, result)
+                continue
+            reader = self.readers.get(shard_id)
+            if reader is None:
+                # start() launched the parent's resource tracker before
+                # the pools, so fork AND spawn workers share it (spawn
+                # ships the tracker fd in its preparation data) — the
+                # creating worker's unlink is the single clean-up point
+                # and the parent must not unregister on top of it.
+                reader = self.readers[shard_id] = ShardTelemetryReader()
+            reader.update(segment, version, catalog)
+            for node_id, (exc_type, message) in errors.items():
+                self._record_error(
+                    node_id, RemoteNodeError(exc_type, message), result
+                )
+            shard_totals = reader.invariant_totals()
+            stats = stats + reader.backend_stats()
+            checks += shard_totals[0]
+            violations += shard_totals[1]
+        self._backend_stats = stats
+        self._invariant_totals = (checks, violations)
+        self.ticks += 1
+        return result
+
+    def fetch_report(self, node_id: str) -> Optional[ControllerReport]:
+        """Pull one node's latest full report from its worker (lazy).
+
+        The explain / flight-recorder escape hatch of the shared
+        telemetry lane: the compact arrays cover every aggregate, and
+        the rare flow that needs sample lists or per-path allocations
+        pays one pickle for exactly one node.  The fetched report is
+        cached in :attr:`last_reports` (as ``"reports"`` mode would
+        have).  Works in either telemetry mode.
+        """
+        self.start()
+        shard_id = self.shard_of(node_id)
+        report = self._pools[shard_id].submit(
+            _shard_fetch_report, node_id
+        ).result()
+        if report is not None:
+            self.last_reports[node_id] = report
+        return report
+
     def _record_error(
         self, node_id: str, exc: BaseException, result: TickResult
     ) -> None:
@@ -551,7 +722,22 @@ class ShardedNodeManager:
     # -- aggregate telemetry ----------------------------------------------------
 
     def aggregate_timings(self) -> StageTimings:
-        """Summed per-stage wall-clock across the latest reports."""
+        """Summed per-stage wall-clock across the latest tick.
+
+        ``"reports"`` mode sums over :attr:`last_reports`; ``"shared"``
+        mode sums the mapped telemetry blocks — no round trips.
+        """
+        if self.telemetry == "shared" and self.readers:
+            total = StageTimings()
+            for reader in self.readers.values():
+                shard = reader.stage_timings()
+                total.monitor += shard.monitor
+                total.estimate += shard.estimate
+                total.credits += shard.credits
+                total.auction += shard.auction
+                total.distribute += shard.distribute
+                total.enforce += shard.enforce
+            return total
         total = StageTimings()
         for report in self.last_reports.values():
             t = report.timings
@@ -574,17 +760,25 @@ class ShardedNodeManager:
     def invariant_violations_by_node(self) -> Dict[str, int]:
         """Per-node cumulative violation counts, merged across shards.
 
-        A dead shard contributes nothing this round (its nodes are
-        already flagged via ``error_counts``); the counters are
-        cumulative in-worker, so the next successful round trip catches
-        the totals up.
+        ``"shared"`` mode reads the mapped telemetry blocks directly —
+        zero round trips, which is what lets the rebalancer snapshot a
+        1000-node cluster every round.  ``"reports"`` mode keeps the
+        original per-shard query.  Either way a dead shard contributes
+        nothing this round (its nodes are already flagged via
+        ``error_counts``); the counters are cumulative in-worker, so
+        the next successful round trip catches the totals up.
         """
+        if self.telemetry == "shared" and self.readers:
+            out: Dict[str, int] = {}
+            for reader in self.readers.values():
+                out.update(reader.violations_by_node())
+            return out
         self.start()
         futures = {
             shard_id: pool.submit(_shard_invariants_by_node)
             for shard_id, pool in self._pools.items()
         }
-        out: Dict[str, int] = {}
+        out = {}
         for shard_id, future in futures.items():
             try:
                 out.update(future.result())

@@ -392,6 +392,8 @@ class ClusterScenario:
     max_moves_per_round: int = 16
     max_moves_per_node: int = 4
     ledger_path: Optional[str] = None
+    #: Snapshot dialect for the loop: "auto" | "view" | "arrays".
+    dialect: str = "auto"
 
     def __post_init__(self) -> None:
         if self.nodes <= 0 or self.vms < 0:
@@ -400,6 +402,8 @@ class ClusterScenario:
             raise ValueError("duration and dt must be positive")
         if self.rebalance_every < 1:
             raise ValueError("rebalance_every must be >= 1")
+        if self.dialect not in ("auto", "view", "arrays"):
+            raise ValueError("dialect must be 'auto', 'view' or 'arrays'")
 
     def chaos_config(self):
         from repro.rebalance import ChaosConfig
@@ -441,6 +445,7 @@ class ClusterScenario:
                 every=self.rebalance_every,
                 seed=self.seed,
                 ledger=RebalanceLedger(path=self.ledger_path),
+                dialect=self.dialect,
             )
         return cluster, loop
 
@@ -469,6 +474,32 @@ def chaos_churn(
         duration=duration,
         seed=seed,
         rebalance=rebalance,
+        ledger_path=ledger_path,
+    )
+
+
+def chaos_churn_xl(
+    *,
+    rebalance: bool = True,
+    seed: int = 7,
+    duration: float = 60.0,
+    dialect: str = "auto",
+    ledger_path: Optional[str] = None,
+) -> ClusterScenario:
+    """The 1000-node / 50k-VM scale point (`chaos1000` benchmark).
+
+    Five times PR 7's headline shape; one control-loop round (snapshot
+    + plan) must fit inside the 1 s control period, which is what the
+    arrays dialect exists for.
+    """
+    return ClusterScenario(
+        name="chaos-churn-1000",
+        nodes=1000,
+        vms=50_000,
+        duration=duration,
+        seed=seed,
+        rebalance=rebalance,
+        dialect=dialect,
         ledger_path=ledger_path,
     )
 

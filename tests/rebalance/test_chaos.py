@@ -6,7 +6,12 @@ from repro.rebalance.chaos import ChaosConfig, ChurnChaosCluster
 from repro.rebalance.loop import RebalanceLoop
 from repro.rebalance.planner import MigrationPlanner, PlannerConfig
 from repro.sim.metrics import ClusterRebalanceMetrics
-from repro.sim.scenario import ClusterScenario, chaos_churn, chaos_churn_small
+from repro.sim.scenario import (
+    ClusterScenario,
+    chaos_churn,
+    chaos_churn_small,
+    chaos_churn_xl,
+)
 
 SMALL = dict(nodes=6, duration_s=60.0, seed=3, initial_vms=200,
              degrade_rate_per_s=0.05)
@@ -118,6 +123,64 @@ class TestHeadlineClaim:
             assert "migration derivation" in text
 
 
+class TestSnapshotDialects:
+    def test_arrays_snapshot_matches_view(self):
+        cluster = small_cluster()
+        view = cluster.rebalance_view()
+        arrays = cluster.rebalance_arrays()
+        assert arrays.to_view() == view
+
+    def test_arrays_cache_survives_migration_but_not_churn(self):
+        cluster = small_cluster(initial_vms=60)
+        a1 = cluster.rebalance_arrays()
+        view = cluster.rebalance_view()
+        vm_name = next(iter(view.vms))
+        target = max(
+            (n for n in view.nodes.values()
+             if n.node_id != view.vms[vm_name].node_id),
+            key=lambda n: n.headroom_mhz,
+        ).node_id
+        cluster.start_migration(vm_name, target)
+        # Same population: static VM columns are reused, reservations show.
+        a2 = cluster.rebalance_arrays()
+        assert a2.vm_names == a1.vm_names
+        slot = a2.node_index[target]
+        assert a2.node_committed_mhz[slot] > a1.node_committed_mhz[slot]
+        # Churn invalidates the name cache.
+        cluster._destroy(vm_name)
+        a3 = cluster.rebalance_arrays()
+        assert vm_name not in a3.vm_names
+
+    def test_run_identical_under_both_dialects(self):
+        """The dialect knob changes round latency, never the result."""
+        results = {}
+        for dialect in ("view", "arrays"):
+            scenario = ClusterScenario(
+                name="mini", nodes=6, vms=260, duration=60.0, seed=3,
+                degrade_rate_per_s=0.05, rebalance_every=2, dialect=dialect,
+            )
+            results[dialect] = scenario.run().to_dict()
+        assert results["view"] == results["arrays"]
+        assert results["view"]["migrations"] > 0
+
+    def test_loop_records_snapshot_and_plan_split(self):
+        cluster = small_cluster(initial_vms=260)
+        loop = small_loop()
+        cluster.run(loop)
+        assert loop.rounds_total > 0
+        assert len(loop.snapshot_durations) == loop.rounds_total
+        assert len(loop.plan_durations) == loop.rounds_total
+        meta = loop.ledger.rounds[0]["meta"]
+        assert meta["snapshot_seconds"] >= 0.0
+        assert meta["plan_seconds"] >= 0.0
+
+    def test_invalid_dialect_rejected(self):
+        with pytest.raises(ValueError, match="dialect"):
+            RebalanceLoop(dialect="csv")
+        with pytest.raises(ValueError, match="dialect"):
+            ClusterScenario(name="bad", dialect="csv")
+
+
 class TestScenarioBuilders:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -130,6 +193,8 @@ class TestScenarioBuilders:
         assert (full.nodes, full.vms, full.rebalance) == (200, 10_000, False)
         small = chaos_churn_small()
         assert (small.nodes, small.vms) == (8, 300)
+        xl = chaos_churn_xl(rebalance=False)
+        assert (xl.nodes, xl.vms, xl.rebalance) == (1000, 50_000, False)
         cluster, loop = small.build()
         assert len(cluster.nodes) == 8
         assert loop is not None and loop.every == 2

@@ -111,6 +111,7 @@ EXPECTED = {
         "VMGroup",
         "chaos_churn",
         "chaos_churn_small",
+        "chaos_churn_xl",
         "eval1_chetemi",
         "eval1_chiclet",
         "eval2_chetemi",
@@ -126,6 +127,7 @@ EXPECTED = {
         "ChaosConfig",
         "ChaosResult",
         "ChurnChaosCluster",
+        "ClusterStateArrays",
         "ClusterStateView",
         "GOALS",
         "InFlightView",
@@ -137,6 +139,7 @@ EXPECTED = {
         "PlannerConfig",
         "RebalanceLedger",
         "RebalanceLoop",
+        "SimulatedArrays",
         "SimulatedNode",
         "SimulatedState",
         "VmView",
