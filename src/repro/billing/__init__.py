@@ -1,0 +1,44 @@
+"""Tenant-aware performance-based billing (ROADMAP item 3).
+
+Pricing follows the Lučanin et al. performance-based-pricing model
+(arXiv:1809.05840, arXiv:1809.05842): tenants pay per allocated
+MHz-second — tiered base rates for Eq. 5 reservations, scarcity-scaled
+spot rates for Alg. 1 surplus-market cycles — and receive SLA credits
+whenever an Eq. 2 guarantee is missed.  Every invoice line is
+independently re-derivable from the PR 5 decision ledger by
+:mod:`repro.checking.billing_oracle`; see ``docs/billing.md``.
+"""
+
+from repro.billing.invoice import (
+    CreditLine,
+    Invoice,
+    InvoiceLine,
+    build_invoices,
+    invoices_to_json,
+    render_invoices,
+)
+from repro.billing.meter import BillingEngine, UsageMeter, decompose
+from repro.billing.pricing import (
+    DEFAULT_PRICE_BOOK,
+    PriceBook,
+    PriceTier,
+    mhz_seconds_per_cycle,
+    sold_fraction,
+)
+
+__all__ = [
+    "BillingEngine",
+    "CreditLine",
+    "DEFAULT_PRICE_BOOK",
+    "Invoice",
+    "InvoiceLine",
+    "PriceBook",
+    "PriceTier",
+    "UsageMeter",
+    "build_invoices",
+    "decompose",
+    "invoices_to_json",
+    "mhz_seconds_per_cycle",
+    "render_invoices",
+    "sold_fraction",
+]

@@ -1,0 +1,189 @@
+"""Invoice construction and rendering (JSON + plain-text tables).
+
+An invoice is a pure projection of meter state — grouping, sorting and
+summing, no pricing arithmetic — so both the billing engine and the
+independent oracle build their invoices through this module and any
+disagreement is attributable to *metering*, never to rendering.
+
+Line totals use ``math.fsum`` over deterministically sorted lines, so
+"sum of the per-tenant invoices" and "sum over all metered lines" are
+the same atoms in the same order — the revenue-conservation property
+the Hypothesis suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.billing.pricing import DEFAULT_PRICE_BOOK, PriceBook
+
+
+@dataclass(frozen=True)
+class InvoiceLine:
+    """One billed (VM, vCPU, cycle-class) aggregate."""
+
+    tenant: str
+    vm: str
+    vcpu: int
+    tier: str
+    kind: str  # "guaranteed" | "purchased" | "free"
+    cycles: float
+    mhz_s: float
+    amount: float
+
+
+@dataclass(frozen=True)
+class CreditLine:
+    """One SLA-shortfall refund aggregate (always subtracted)."""
+
+    tenant: str
+    vm: str
+    vcpu: int
+    tier: str
+    shortfall_cycles: float
+    mhz_s: float
+    amount: float
+
+
+@dataclass
+class Invoice:
+    """One tenant's revenue and refunds on one node."""
+
+    tenant: str
+    node: str
+    lines: List[InvoiceLine] = field(default_factory=list)
+    credit_lines: List[CreditLine] = field(default_factory=list)
+
+    @property
+    def revenue(self) -> float:
+        return math.fsum(line.amount for line in self.lines)
+
+    @property
+    def sla_credits(self) -> float:
+        return math.fsum(line.amount for line in self.credit_lines)
+
+    @property
+    def total(self) -> float:
+        """What the tenant owes: revenue minus SLA refunds."""
+        return self.revenue - self.sla_credits
+
+    def as_dict(self) -> Dict:
+        return {
+            "tenant": self.tenant,
+            "node": self.node,
+            "lines": [vars(line) for line in self.lines],
+            "credit_lines": [vars(line) for line in self.credit_lines],
+            "revenue": self.revenue,
+            "sla_credits": self.sla_credits,
+            "total": self.total,
+        }
+
+
+def build_invoices(
+    usage: Dict,
+    credits: Dict,
+    *,
+    book: Optional[PriceBook] = None,
+    node: str = "node-0",
+) -> List[Invoice]:
+    """Per-tenant invoices from raw meter accumulators.
+
+    ``usage`` maps ``(tenant, vm, vcpu, tier, kind)`` to ``[cycles,
+    mhz_s, amount]`` and ``credits`` maps ``(tenant, vm, vcpu, tier)``
+    likewise — the exact shapes
+    :class:`~repro.billing.meter.UsageMeter` (and the oracle's
+    re-derivation) hold.  ``book`` is accepted for signature symmetry
+    with the metering side; invoices never reprice anything.
+    """
+    del book  # projection only — no pricing arithmetic here
+    invoices: Dict[str, Invoice] = {}
+
+    def invoice_for(tenant: str) -> Invoice:
+        inv = invoices.get(tenant)
+        if inv is None:
+            inv = invoices[tenant] = Invoice(tenant=tenant, node=node)
+        return inv
+
+    for key in sorted(usage):
+        tenant, vm, vcpu, tier, kind = key
+        cycles, mhz_s, amount = usage[key]
+        invoice_for(tenant).lines.append(InvoiceLine(
+            tenant=tenant, vm=vm, vcpu=vcpu, tier=tier, kind=kind,
+            cycles=cycles, mhz_s=mhz_s, amount=amount,
+        ))
+    for key in sorted(credits):
+        tenant, vm, vcpu, tier = key
+        cycles, mhz_s, amount = credits[key]
+        invoice_for(tenant).credit_lines.append(CreditLine(
+            tenant=tenant, vm=vm, vcpu=vcpu, tier=tier,
+            shortfall_cycles=cycles, mhz_s=mhz_s, amount=amount,
+        ))
+    return [invoices[tenant] for tenant in sorted(invoices)]
+
+
+def invoices_to_json(invoices: List[Invoice]) -> str:
+    """All invoices as one deterministic JSON document."""
+    return json.dumps(
+        [invoice.as_dict() for invoice in invoices], sort_keys=True
+    )
+
+
+def render_invoices(invoices: List[Invoice], *, per_vcpu: bool = False) -> str:
+    """Plain-text tables: one per tenant, plus a cluster summary."""
+    from repro.sim.report import render_table
+
+    chunks: List[str] = []
+    for invoice in invoices:
+        if per_vcpu:
+            rows = [
+                [l.vm, str(l.vcpu), l.tier, l.kind,
+                 f"{l.mhz_s:.1f}", f"{l.amount:.6f}"]
+                for l in invoice.lines
+            ]
+        else:
+            rows = _vm_rows(invoice)
+        for c in invoice.credit_lines:
+            rows.append([
+                c.vm, str(c.vcpu) if per_vcpu else "-", c.tier,
+                "sla-credit", f"{c.mhz_s:.1f}", f"-{c.amount:.6f}",
+            ])
+        headers = ["vm", "vcpu" if per_vcpu else "vcpus", "tier", "kind",
+                   "MHz-s", "amount"]
+        chunks.append(render_table(
+            headers, rows,
+            title=f"invoice: tenant {invoice.tenant} on {invoice.node}",
+        ))
+        chunks.append(
+            f"  revenue {invoice.revenue:.6f}  "
+            f"sla credits {invoice.sla_credits:.6f}  "
+            f"total {invoice.total:.6f}"
+        )
+    summary = [
+        [inv.tenant, str(len(inv.lines)), f"{inv.revenue:.6f}",
+         f"{inv.sla_credits:.6f}", f"{inv.total:.6f}"]
+        for inv in invoices
+    ]
+    chunks.append(render_table(
+        ["tenant", "lines", "revenue", "sla credits", "total"],
+        summary, title="billing summary",
+    ))
+    return "\n".join(chunks)
+
+
+def _vm_rows(invoice: Invoice) -> List[List[str]]:
+    """Per-VM/per-kind aggregation of an invoice's per-vCPU lines."""
+    agg: Dict = {}
+    for line in invoice.lines:
+        key = (line.vm, line.kind)
+        cell = agg.setdefault(key, [line.tier, set(), 0.0, 0.0])
+        cell[1].add(line.vcpu)
+        cell[2] += line.mhz_s
+        cell[3] += line.amount
+    return [
+        [vm, str(len(cell[1])), cell[0], kind,
+         f"{cell[2]:.1f}", f"{cell[3]:.6f}"]
+        for (vm, kind), cell in sorted(agg.items())
+    ]

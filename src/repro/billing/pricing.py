@@ -1,0 +1,147 @@
+"""Performance-based pricing: tiered base rates + surplus-market spot.
+
+The model follows the two Lučanin et al. performance-based-pricing
+papers (arXiv:1809.05840, arXiv:1809.05842): a customer pays for the
+CPU *performance actually allocated* — MHz-seconds, not wall-clock VM
+hours — and is refunded when the provider misses the promised
+performance level.  Mapped onto this repo's paper (Eq. 2 guarantees,
+the Alg. 1 surplus auction), each enforced allocation decomposes into
+three billable cycle classes, metered at distinct rates:
+
+* **guaranteed** — cycles inside the Eq. 5 base reservation (at most
+  the Eq. 2 guarantee).  Priced by the *tier* of the VM's guaranteed
+  virtual frequency (small/medium/large bands), the tiered base rates
+  of the Lučanin model.
+* **purchased** — cycles bought in the Alg. 1 auction with credits.
+  Priced at the per-tick *spot rate*, which rises with the fraction of
+  the surplus market actually sold that tick (scarcity pricing).
+* **free** — stage-5 leftover shares.  Same surplus market, but
+  distributed without competition, so they are priced at the spot rate
+  times a flat discount.
+
+SLA credits are the refund side: any tick a vCPU with saturated demand
+(estimate at or above its Eq. 2 guarantee — the precondition of the
+``eq2_guarantee`` oracle) is allocated *below* the guarantee, the
+shortfall is refunded at the tier rate times ``sla_refund_multiplier``.
+Degraded-mode fallbacks (no estimate) count as misses too: the
+guarantee was promised and not demonstrably delivered.
+
+Units: one *cycle* is one µs of CPU at host ``F_MAX`` per period
+(Eq. 1), so one cycle is worth ``fmax_mhz * 1e-6`` MHz-seconds — see
+:func:`mhz_seconds_per_cycle`.  Rates are "credits per MHz-second";
+the currency is abstract (the tests only ever assert conservation and
+exact oracle re-derivation, never absolute value).
+
+Everything in this module is a *pure function of ledger-visible data*
+(decision records plus per-tick meta), which is what lets
+:mod:`repro.checking.billing_oracle` re-derive every invoice line from
+the PR 5 decision ledger alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def mhz_seconds_per_cycle(fmax_mhz: float) -> float:
+    """MHz-seconds delivered by one cycle (1 µs of CPU at ``F_MAX``).
+
+    A vCPU holding a full period ``p_us`` of cycles runs at ``fmax``
+    MHz for ``p`` seconds — ``fmax * p`` MHz-s over ``p_us = p * 1e6``
+    cycles, i.e. ``fmax * 1e-6`` per cycle, independent of the period.
+    """
+    return fmax_mhz * 1e-6
+
+
+def sold_fraction(market_initial: float, market_left: float) -> float:
+    """Fraction of the tick's surplus market the auction actually sold."""
+    if market_initial <= 0:
+        return 0.0
+    return (market_initial - market_left) / market_initial
+
+
+@dataclass(frozen=True)
+class PriceTier:
+    """One band of guaranteed virtual frequency and its base rate."""
+
+    name: str
+    #: Upper bound (inclusive) of guaranteed vfreq covered by this tier;
+    #: the last tier uses ``math.inf``.
+    max_vfreq_mhz: float
+    #: Credits per MHz-second of guaranteed-class usage.
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.max_vfreq_mhz <= 0:
+            raise ValueError("max_vfreq_mhz must be positive")
+        if self.rate < 0:
+            raise ValueError("tier rate must be >= 0")
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """All pricing knobs, frozen — shared config, not shared arithmetic.
+
+    The billing oracle deliberately re-implements every formula below
+    inline (the engine can never certify its own arithmetic); only this
+    *data* — tier bounds and rate constants — is shared between them,
+    the same way :func:`~repro.checking.invariants.check_plan_admissible`
+    shares the planner's ``allocation_ratio`` input but not its code.
+    """
+
+    tiers: Tuple[PriceTier, ...]
+    #: Spot rate (credits per MHz-s) when the auction sold nothing.
+    spot_base_rate: float
+    #: Linear scarcity coefficient: the spot rate is
+    #: ``spot_base_rate * (1 + spot_slope * sold_fraction)``.
+    spot_slope: float
+    #: Free-share cycles are priced at ``spot_rate * free_discount``.
+    free_discount: float
+    #: SLA shortfall refunded at ``tier.rate * sla_refund_multiplier``.
+    sla_refund_multiplier: float
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("price book needs at least one tier")
+        bounds = [t.max_vfreq_mhz for t in self.tiers]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("tiers must have strictly ascending bounds")
+        if not math.isinf(self.tiers[-1].max_vfreq_mhz):
+            raise ValueError("last tier must be unbounded (math.inf)")
+        if self.spot_base_rate < 0 or self.spot_slope < 0:
+            raise ValueError("spot rate parameters must be >= 0")
+        if not 0.0 <= self.free_discount <= 1.0:
+            raise ValueError("free_discount must be in [0, 1]")
+        if self.sla_refund_multiplier < 0:
+            raise ValueError("sla_refund_multiplier must be >= 0")
+
+    def tier_of(self, vfreq_mhz: float) -> PriceTier:
+        """The pricing tier covering one guaranteed virtual frequency."""
+        for tier in self.tiers:
+            if vfreq_mhz <= tier.max_vfreq_mhz:
+                return tier
+        raise ValueError(f"no tier covers vfreq {vfreq_mhz}")  # pragma: no cover
+
+    def spot_rate(self, fraction_sold: float) -> float:
+        """Per-tick surplus-market rate (credits per MHz-second)."""
+        return self.spot_base_rate * (1.0 + self.spot_slope * fraction_sold)
+
+
+#: Tier bands chosen so the paper's three templates (500/1200/1800 MHz)
+#: land in distinct tiers; rates roughly double tier over tier, and the
+#: surplus market is always cheaper than any committed guarantee.
+DEFAULT_PRICE_BOOK = PriceBook(
+    tiers=(
+        PriceTier("small", 800.0, 2.0e-4),
+        PriceTier("medium", 1500.0, 3.2e-4),
+        PriceTier("large", math.inf, 4.5e-4),
+    ),
+    spot_base_rate=1.0e-4,
+    spot_slope=1.0,
+    free_discount=0.25,
+    sla_refund_multiplier=2.0,
+)

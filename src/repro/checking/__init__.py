@@ -13,11 +13,20 @@ Three layers, each usable on its own:
   cross-engine bit-identity checked;
 * :mod:`repro.checking.shrink` — a delta-debugging shrinker that reduces
   a failing trace to a minimal JSONL repro, replayable via
-  ``tests/checking/test_repros.py`` or ``python -m repro check replay``.
+  ``tests/checking/test_repros.py`` or ``python -m repro check replay``;
+* :mod:`repro.checking.billing_oracle` — an independent re-derivation
+  of every invoice line from the decision ledger, compared bit-exactly
+  against the live billing engine (``docs/billing.md``).
 
 See ``docs/testing.md`` for the workflow and the invariant catalogue.
 """
 
+from repro.checking.billing_oracle import (
+    audit_billing,
+    billing_predicate,
+    derive_billing,
+    replay_with_billing,
+)
 from repro.checking.invariants import (
     INVARIANTS,
     InvariantChecker,
@@ -34,8 +43,12 @@ __all__ = [
     "InvariantViolationError",
     "Violation",
     "FuzzResult",
+    "audit_billing",
+    "billing_predicate",
+    "derive_billing",
     "fuzz_one",
     "generate_trace",
+    "replay_with_billing",
     "shrink_trace",
     "ReplayResult",
     "Trace",

@@ -83,8 +83,16 @@ def generate_trace(
     faults: bool = True,
     restarts: bool = True,
     engine: str = "both",
+    tenants: int = 0,
 ) -> Trace:
-    """Deterministically generate one fuzz scenario for ``seed``."""
+    """Deterministically generate one fuzz scenario for ``seed``.
+
+    ``tenants > 0`` spreads provisioned VMs round-robin over that many
+    named tenants and stamps each provision with an initial demand
+    level — the multi-tenant billing fuzz mode.  ``tenants=0`` (the
+    default) emits byte-identical traces to every earlier release: the
+    tenant path draws from the RNG only when enabled.
+    """
     if engine not in ENGINES + ("both", "all"):
         raise ValueError(f"unknown engine {engine!r}")
     rng = random.Random(seed)
@@ -116,10 +124,12 @@ def generate_trace(
             return
         vfreq = round(rng.uniform(MIN_VFREQ, top), 1)
         name = f"vm{next_vm}"
+        event = {"kind": "provision", "vm": name, "vcpus": vcpus, "vfreq": vfreq}
+        if tenants > 0:
+            event["tenant"] = f"t{next_vm % tenants}"
+            event["level"] = round(rng.random(), 3)
         next_vm += 1
-        events.append(
-            {"kind": "provision", "vm": name, "vcpus": vcpus, "vfreq": vfreq}
-        )
+        events.append(event)
         committed[name] = vcpus * vfreq
         shapes[name] = vcpus
 

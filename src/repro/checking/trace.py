@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checking.invariants import InvariantChecker, Violation
 from repro.core.config import ControllerConfig
@@ -148,7 +148,12 @@ class ReplayResult:
 class _Replica:
     """One engine's closed-loop host: node + hypervisor + controller."""
 
-    def __init__(self, trace: Trace, engine: str) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        engine: str,
+        attach: Optional[Callable[[VirtualFrequencyController, str], None]] = None,
+    ) -> None:
         h = trace.header
         spec = NodeSpec(
             name="fuzz",
@@ -182,6 +187,12 @@ class _Replica:
         self.controller = self._make_controller(backend)
         self.checker = InvariantChecker(self.controller)
         self.templates: Dict[str, VMTemplate] = {}
+        #: Optional instrumentation hook (obs hub, billing engine); also
+        #: re-invoked after every ``restart`` event so attachments can
+        #: re-bind to the freshly restored controller instance.
+        self._attach = attach
+        if attach is not None:
+            attach(self.controller, engine)
 
     def _make_controller(self, backend) -> VirtualFrequencyController:
         spec = self.node.spec
@@ -214,10 +225,17 @@ class _Replica:
                 name=f"fz-{event['vcpus']}c",
                 vcpus=int(event["vcpus"]),
                 vfreq_mhz=float(event["vfreq"]),
+                tenant=event.get("tenant", "default"),
             )
             vm = self.hypervisor.provision(template, name)
-            self.controller.register_vm(vm.name, template.vfreq_mhz)
+            self.controller.register_vm(
+                vm.name, template.vfreq_mhz, tenant=event.get("tenant")
+            )
             self.templates[name] = template
+            # Optional initial demand, so a billing repro can express
+            # "provision a busy VM" as a single event.
+            if "level" in event:
+                vm.set_uniform_demand(float(event["level"]))
         elif kind == "destroy":
             name = event["vm"]
             if name not in vms:
@@ -253,6 +271,11 @@ class _Replica:
         self.controller = self._make_controller(self.controller.backend)
         restore(self.controller, state)
         self.checker = InvariantChecker(self.controller)
+        if self._attach is not None:
+            # After restore, so attachments re-bind to the recovered
+            # wallets/registries (a billing engine keeps its meter —
+            # usage accrued before the crash stays billed).
+            self._attach(self.controller, self.config.engine)
 
     def tick(self, t: float) -> Tuple[ControllerReport, List[Violation]]:
         self.node.step(self.config.period_s)
@@ -313,6 +336,7 @@ def replay(
     engines: Optional[Sequence[str]] = None,
     stop_at_first: bool = True,
     collect_reports: bool = False,
+    attach: Optional[Callable[[VirtualFrequencyController, str], None]] = None,
 ) -> ReplayResult:
     """Replay a trace under one or more engines, oracles armed.
 
@@ -324,6 +348,12 @@ def replay(
     With ``stop_at_first`` (the default) replay returns at the first
     violating tick — what the shrinker's predicate wants; pass
     ``False`` to collect everything.
+
+    ``attach`` is an optional ``(controller, engine) -> None`` hook
+    invoked on every replica controller at construction *and* after
+    each ``restart`` event's restore — the wiring point for
+    observability hubs and billing engines (which must survive a
+    controller crash with their accumulated state intact).
     """
     if engines is None:
         requested = trace.header.get("engine", "both")
@@ -337,7 +367,7 @@ def replay(
     for engine in engines:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
-    replicas = [_Replica(trace, engine) for engine in engines]
+    replicas = [_Replica(trace, engine, attach) for engine in engines]
     violations: List[Violation] = []
     reports: Dict[str, List[ControllerReport]] = {e: [] for e in engines}
     ticks = 0

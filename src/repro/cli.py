@@ -197,6 +197,58 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the rebalance ledger JSONL here "
                          "(for 'repro explain --move')")
 
+    p11 = sub.add_parser(
+        "bill",
+        help="performance-based billing tools: metering demo, "
+             "ledger-derived invoices, billing-oracle fuzz "
+             "(docs/billing.md)",
+    )
+    billsub = p11.add_subparsers(dest="bill_command", required=True)
+    bd = billsub.add_parser(
+        "demo",
+        help="run a small multi-tenant host with metering attached, "
+             "audit it against the billing oracle, print the invoices",
+    )
+    bd.add_argument("--ticks", type=int, default=50)
+    bd.add_argument("--vms", type=int, default=4, help="VMs to provision")
+    bd.add_argument("--tenants", type=int, default=2,
+                    help="tenants to spread the VMs over (default 2)")
+    bd.add_argument("--seed", type=int, default=42)
+    bd.add_argument("--engine", choices=_ENGINE_CHOICES, default="vectorized")
+    bd.add_argument("--json", action="store_true",
+                    help="emit invoices as JSON instead of tables")
+    bd.add_argument("--per-vcpu", action="store_true",
+                    help="one table row per vCPU instead of per VM")
+    bd.add_argument("--metrics", action="store_true",
+                    help="also print the Prometheus billing families")
+    bv = billsub.add_parser(
+        "derive",
+        help="re-derive per-tenant invoices from a decision-ledger "
+             "JSONL via the billing oracle (no live engine needed)",
+    )
+    bv.add_argument("ledger", metavar="FILE", help="ledger JSONL file")
+    bv.add_argument("--node", default="node-0",
+                    help="node label for the rendered invoices")
+    bv.add_argument("--json", action="store_true",
+                    help="emit invoices as JSON instead of tables")
+    bf = billsub.add_parser(
+        "fuzz",
+        help="fuzzed multi-tenant metering runs with every invoice "
+             "re-derived by the billing oracle (the billing-smoke gate)",
+    )
+    bf.add_argument("--seeds", type=int, default=5, metavar="N",
+                    help="number of consecutive seeds to run (default 5)")
+    bf.add_argument("--start-seed", type=int, default=0, metavar="S")
+    bf.add_argument("--ticks", type=int, default=200, metavar="T",
+                    help="controller ticks per scenario (default 200)")
+    bf.add_argument("--tenants", type=int, default=3,
+                    help="tenants per scenario (default 3)")
+    bf.add_argument("--engine", choices=_ENGINE_MULTI, default="all",
+                    help="engine(s) to meter under (default all)")
+    bf.add_argument("--repro-dir", default=None, metavar="DIR",
+                    help="shrink each failing seed's trace and write the "
+                         "minimal JSONL repro into DIR")
+
     p9 = sub.add_parser(
         "serve-metrics",
         help="run a small simulated host and serve live Prometheus "
@@ -377,6 +429,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "trace": _cmd_trace,
         "rebalance": _cmd_rebalance,
+        "bill": _cmd_bill,
         "serve-metrics": _cmd_serve_metrics,
     }[args.command]
     return command(args)
@@ -852,6 +905,166 @@ def _cmd_trace(args) -> int:
     )
     print(f"replay with: python -m repro check replay {args.output}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# bill subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_bill(args) -> int:
+    return {
+        "demo": _cmd_bill_demo,
+        "derive": _cmd_bill_derive,
+        "fuzz": _cmd_bill_fuzz,
+    }[args.bill_command](args)
+
+
+def _cmd_bill_demo(args) -> int:
+    import random
+
+    from repro.billing import BillingEngine, invoices_to_json, render_invoices
+    from repro.checking import audit_billing
+    from repro.core.config import ControllerConfig
+    from repro.core.controller import VirtualFrequencyController
+    from repro.core.metrics_export import render_billing
+    from repro.hw.node import Node
+    from repro.hw.nodespecs import NodeSpec
+    from repro.obs import ObsConfig, Observability
+    from repro.virt.hypervisor import Hypervisor, VMTemplate
+
+    spec = NodeSpec(
+        name="billing-demo", cpu_model="demo CPU", sockets=1,
+        cores_per_socket=2, threads_per_core=2, fmax_mhz=2400.0,
+        fmin_mhz=1200.0, memory_mb=8 * 1024, freq_jitter_mhz=0.0,
+    )
+    node = Node(spec, seed=args.seed)
+    hv = Hypervisor(node)
+    cfg = ControllerConfig.paper_evaluation(check_invariants=True)
+    ctrl = VirtualFrequencyController(
+        node.fs, node.procfs, node.sysfs,
+        num_cpus=spec.logical_cpus, fmax_mhz=spec.fmax_mhz, config=cfg,
+    )
+    hub = Observability(ObsConfig(
+        tracing=False, ledger=True, flight_recorder_ticks=0,
+        ledger_ring_ticks=args.ticks + 1,
+    ))
+    hub.bind(ctrl)
+    ctrl.obs = hub
+    BillingEngine.attach(ctrl, node_id=spec.name)
+    rng = random.Random(args.seed)
+    vms = []
+    for k in range(args.vms):
+        tenant = f"tenant-{k % max(args.tenants, 1)}"
+        vfreq = 300.0 * (1 + k % 3)
+        template = VMTemplate(
+            f"demo-{k}", vcpus=2, vfreq_mhz=vfreq, tenant=tenant,
+        )
+        vm = hv.provision(template, template.name)
+        ctrl.register_vm(vm.name, vfreq, tenant=tenant)
+        vms.append(vm)
+    for i in range(args.ticks):
+        for vm in vms:
+            vm.set_uniform_demand(rng.random())
+        node.step(cfg.period_s)
+        ctrl.tick(float(i + 1))
+    violations = audit_billing(ctrl.billing, hub.ledger.ticks)
+    invoices = ctrl.billing.invoices()
+    if args.json:
+        print(invoices_to_json(invoices))
+    else:
+        print(render_invoices(invoices, per_vcpu=args.per_vcpu))
+    if args.metrics:
+        print(render_billing(ctrl.billing))
+    for violation in violations:
+        print(violation)
+    verdict = "FAIL" if violations else "ok"
+    print(
+        f"bill demo: {args.ticks} tick(s), {args.vms} VM(s), "
+        f"{len(invoices)} invoice(s), oracle audit "
+        f"{len(violations)} violation(s) [{verdict}]"
+    )
+    return 1 if violations else 0
+
+
+def _cmd_bill_derive(args) -> int:
+    import os
+
+    from repro.billing import build_invoices, invoices_to_json, render_invoices
+    from repro.checking import derive_billing
+    from repro.obs.ledger import load_jsonl
+
+    if not os.path.exists(args.ledger):
+        print(f"bill derive: no ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    entries = load_jsonl(args.ledger)
+    derived = derive_billing(entries)
+    invoices = build_invoices(derived.usage, derived.credits, node=args.node)
+    if args.json:
+        print(invoices_to_json(invoices))
+    else:
+        print(render_invoices(invoices))
+    for violation in derived.violations:
+        print(violation)
+    verdict = "FAIL" if derived.violations else "ok"
+    print(
+        f"bill derive: {len(entries)} ledger tick(s) -> "
+        f"{len(invoices)} invoice(s), "
+        f"{len(derived.violations)} integrity violation(s) [{verdict}]"
+    )
+    return 1 if derived.violations else 0
+
+
+def _cmd_bill_fuzz(args) -> int:
+    import os
+
+    from repro.checking import (
+        billing_predicate,
+        generate_trace,
+        replay_with_billing,
+        shrink_trace,
+    )
+
+    engines = None
+    if args.engine == "both":
+        engines = ("scalar", "vectorized")
+    elif args.engine == "all":
+        from repro.checking.trace import ENGINES
+
+        engines = ENGINES
+    elif args.engine in _ENGINE_CHOICES:
+        engines = (args.engine,)
+    failures = 0
+    engine_ticks = 0
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        trace = generate_trace(seed, ticks=args.ticks, tenants=args.tenants)
+        result = replay_with_billing(trace, engines=engines)
+        engine_ticks += result.replay.ticks * len(result.replay.engines)
+        if result.ok:
+            continue
+        failures += 1
+        all_violations = list(result.replay.violations) + result.violations
+        print(f"seed {seed}: FAIL ({len(all_violations)} violation(s))")
+        for violation in all_violations[:8]:
+            print(f"  {violation}")
+        if args.repro_dir:
+            os.makedirs(args.repro_dir, exist_ok=True)
+            if result.violations:
+                minimal = shrink_trace(
+                    trace, predicate=billing_predicate(engines=engines),
+                )
+            else:
+                minimal = shrink_trace(trace)
+            path = os.path.join(args.repro_dir, f"repro_seed{seed}.jsonl")
+            minimal.save(path)
+            print(f"  shrunk to {len(minimal.events)} events -> {path}")
+    verdict = "FAIL" if failures else "ok"
+    print(
+        f"bill fuzz: {args.seeds} seeds x {args.ticks} ticks = "
+        f"{engine_ticks} metered engine-ticks, every invoice line "
+        f"re-derived by the oracle, {failures} failing seed(s) [{verdict}]"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_serve_metrics(args) -> int:

@@ -30,6 +30,7 @@ from repro.core.soa import VcpuTable, TickView
 from repro.core.metrics_export import (
     MetricsBuffer,
     render_backend_stats,
+    render_billing,
     render_cluster,
     render_controller,
     render_fault_stats,
@@ -78,6 +79,7 @@ __all__ = [
     "render_cluster",
     "MetricsBuffer",
     "render_backend_stats",
+    "render_billing",
     "render_controller",
     "render_fault_stats",
     "render_node_manager",

@@ -17,7 +17,7 @@ so no caller ever needs an ``isinstance`` check:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.controller import ControllerReport
@@ -30,8 +30,14 @@ class Controller(Protocol):
     #: Control-loop period in seconds.
     period_s: float
 
-    def register_vm(self, vm_name: str, vfreq_mhz: float) -> None:
-        """Declare a hosted VM (and its guaranteed virtual frequency)."""
+    def register_vm(
+        self, vm_name: str, vfreq_mhz: float, *, tenant: Optional[str] = None
+    ) -> None:
+        """Declare a hosted VM (and its guaranteed virtual frequency).
+
+        ``tenant`` optionally names the billing owner; controllers that
+        don't bill may ignore it.
+        """
         ...
 
     def unregister_vm(self, vm_name: str) -> None:

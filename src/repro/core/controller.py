@@ -48,6 +48,9 @@ import numpy as np
 
 log = get_logger("repro.controller")
 
+#: Billing owner assigned to VMs registered without an explicit tenant.
+DEFAULT_TENANT = "default"
+
 
 @dataclass
 class StageTimings:
@@ -150,6 +153,9 @@ class VirtualFrequencyController:
         self.ledger = CreditLedger(self.config)
         self.enforcer = Enforcer(backend, self.config)
         self._vm_vfreq: Dict[str, float] = {}
+        #: Billing owner per VM.  Purely descriptive metadata: no stage
+        #: reads it, so tenancy can never perturb allocation decisions.
+        self._vm_tenant: Dict[str, str] = {}
         #: Eq. 2 guarantees cached per VM at registration — the formula
         #: is pure in ``period_s * vfreq / fmax``, all fixed between
         #: (re-)registrations, so stage 3 never recomputes it per sample.
@@ -201,6 +207,11 @@ class VirtualFrequencyController:
             from repro.obs.hub import Observability
 
             Observability.attach(self, self.config.observability)
+        #: Billing engine (``repro.billing.BillingEngine``); ``None``
+        #: keeps the tick path at one attribute check, and the hard
+        #: transparency contract is that attaching one never changes a
+        #: report or ledger byte.
+        self.billing = None
 
     @property
     def period_s(self) -> float:
@@ -209,8 +220,19 @@ class VirtualFrequencyController:
 
     # -- VM registry ------------------------------------------------------------
 
-    def register_vm(self, vm_name: str, vfreq_mhz: float) -> None:
-        """Declare a hosted VM's guaranteed virtual frequency."""
+    def register_vm(
+        self,
+        vm_name: str,
+        vfreq_mhz: float,
+        *,
+        tenant: Optional[str] = None,
+    ) -> None:
+        """Declare a hosted VM's guaranteed virtual frequency.
+
+        ``tenant`` names the billing owner; ``None`` preserves an
+        existing assignment (so ``set_vfreq`` re-registration keeps it)
+        and defaults fresh VMs to :data:`DEFAULT_TENANT`.
+        """
         if vfreq_mhz <= 0:
             raise ValueError("vfreq must be positive")
         if vfreq_mhz > self.fmax_mhz:
@@ -218,6 +240,10 @@ class VirtualFrequencyController:
                 f"guarantee {vfreq_mhz} MHz exceeds host F_MAX {self.fmax_mhz} MHz"
             )
         self._vm_vfreq[vm_name] = vfreq_mhz
+        if tenant is not None:
+            self._vm_tenant[vm_name] = tenant
+        elif vm_name not in self._vm_tenant:
+            self._vm_tenant[vm_name] = DEFAULT_TENANT
         self._guarantee[vm_name] = guaranteed_cycles(
             self.config.period_s, vfreq_mhz, self.fmax_mhz
         )
@@ -241,6 +267,7 @@ class VirtualFrequencyController:
 
     def unregister_vm(self, vm_name: str) -> None:
         self._vm_vfreq.pop(vm_name, None)
+        self._vm_tenant.pop(vm_name, None)
         self._guarantee.pop(vm_name, None)
         if self._table is not None:
             self._table.release_vm(vm_name)
@@ -276,6 +303,7 @@ class VirtualFrequencyController:
         for path in list(self._current_cap):
             self.backend.forget_vcpu(path)
         self._vm_vfreq.clear()
+        self._vm_tenant.clear()
         self._guarantee.clear()
         if self._table is not None:
             self._table.clear()
@@ -799,6 +827,10 @@ class VirtualFrequencyController:
             # Before the oracle check, so a violating tick is already in
             # the flight ring (and ledger) when the dump fires.
             self.obs.on_tick(self, report, self._tick_count)
+        if self.billing is not None:
+            # After obs, so the ledger entry the oracle audits against
+            # exists before the tick is metered.
+            self.billing.on_tick(self, report, self._tick_count)
         if self.invariant_checker is not None:
             violations = self.invariant_checker.check(report)
             if violations:

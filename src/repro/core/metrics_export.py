@@ -440,6 +440,63 @@ def render_invariants(
     return buf.text() if own else ""
 
 
+def render_billing(
+    engine,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a billing engine's revenue and SLA-credit counters.
+
+    ``engine`` is duck-typed (:class:`repro.billing.meter.BillingEngine`
+    — importing it here would pull billing into every core import):
+    anything holding a ``meter`` with ``usage`` / ``credits``
+    accumulators renders.  Revenue is labelled by tenant and pricing
+    tier, metered volume by tenant and cycle class, credits by tenant —
+    the families a revenue dashboard (or an overcommit post-mortem)
+    slices on.
+    """
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    meter = engine.meter
+    revenue: Dict[Tuple[str, str], float] = {}
+    volume: Dict[Tuple[str, str], float] = {}
+    for (tenant, _vm, _vcpu, tier, kind), cell in meter.usage.items():
+        revenue[(tenant, tier)] = revenue.get((tenant, tier), 0.0) + cell[2]
+        volume[(tenant, kind)] = volume.get((tenant, kind), 0.0) + cell[1]
+    credits: Dict[str, float] = {}
+    for (tenant, _vm, _vcpu, _tier), cell in meter.credits.items():
+        credits[tenant] = credits.get(tenant, 0.0) + cell[2]
+    buf.family(
+        "vfreq_revenue_total", "counter",
+        "Metered revenue, per tenant and pricing tier.",
+    )
+    for (tenant, tier), amount in sorted(revenue.items()):
+        buf.add(
+            "vfreq_revenue_total", amount,
+            **_merged({"tenant": tenant, "tier": tier}, extra_labels),
+        )
+    buf.family(
+        "vfreq_metered_mhz_seconds_total", "counter",
+        "Metered MHz-seconds, per tenant and cycle class.",
+    )
+    for (tenant, kind), mhz_s in sorted(volume.items()):
+        buf.add(
+            "vfreq_metered_mhz_seconds_total", mhz_s,
+            **_merged({"tenant": tenant, "kind": kind}, extra_labels),
+        )
+    buf.family(
+        "vfreq_sla_credits_total", "counter",
+        "SLA shortfall refunds, per tenant.",
+    )
+    for tenant, amount in sorted(credits.items()):
+        buf.add(
+            "vfreq_sla_credits_total", amount,
+            **_merged({"tenant": tenant}, extra_labels),
+        )
+    return buf.text() if own else ""
+
+
 def render_controller(
     controller: VirtualFrequencyController,
     buf: Optional[MetricsBuffer] = None,
@@ -467,6 +524,9 @@ def render_controller(
             render_fault_stats(backend, buf, extra_labels)
     if controller.resilience is not None:
         render_resilience(controller, buf, extra_labels)
+    billing = getattr(controller, "billing", None)
+    if billing is not None:
+        render_billing(billing, buf, extra_labels)
     return buf.text() if own else ""
 
 

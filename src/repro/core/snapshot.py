@@ -25,6 +25,7 @@ def snapshot(controller: VirtualFrequencyController) -> Dict:
     return {
         "version": SNAPSHOT_VERSION,
         "vm_vfreq": dict(controller._vm_vfreq),
+        "tenants": dict(controller._vm_tenant),
         "wallets": controller.ledger.wallets(),
         "current_caps": dict(controller._current_cap),
         "histories": controller.histories(),
@@ -84,8 +85,13 @@ def restore(controller: VirtualFrequencyController, state: Dict) -> None:
     """
     validate(controller, state)
     controller.reset()
+    # "tenants" is optional (pre-billing snapshots lack it); absent
+    # entries fall back to the default tenant at registration.
+    tenants = state.get("tenants", {})
     for vm_name, vfreq in state["vm_vfreq"].items():
-        controller.register_vm(vm_name, float(vfreq))
+        controller.register_vm(
+            vm_name, float(vfreq), tenant=tenants.get(vm_name)
+        )
     for vm_name, balance in state["wallets"].items():
         controller.ledger.set_balance(vm_name, float(balance))
     controller._current_cap.update(

@@ -186,6 +186,10 @@ class Observability:
             "wallets_before": dict(self._prev_wallets),
             "wallets_after": dict(report.wallets),
             "spent_per_vm": dict(spent),
+            # Recorded whether or not a billing engine is attached, so
+            # the ledger stream is byte-identical billing on vs. off
+            # and the billing oracle can always resolve tenancy.
+            "tenants": dict(controller._vm_tenant),
         }
         decisions: List[Dict] = []
         if not report.allocations:

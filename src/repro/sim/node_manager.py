@@ -121,9 +121,16 @@ class NodeManager:
 
     # -- VM routing -------------------------------------------------------------
 
-    def register_vm(self, node_id: str, vm_name: str, vfreq_mhz: float) -> None:
+    def register_vm(
+        self,
+        node_id: str,
+        vm_name: str,
+        vfreq_mhz: float,
+        *,
+        tenant: Optional[str] = None,
+    ) -> None:
         """Declare a VM on the named node."""
-        self.controllers[node_id].register_vm(vm_name, vfreq_mhz)
+        self.controllers[node_id].register_vm(vm_name, vfreq_mhz, tenant=tenant)
 
     def unregister_vm(self, node_id: str, vm_name: str) -> None:
         self.controllers[node_id].unregister_vm(vm_name)
@@ -393,8 +400,12 @@ def _shard_invariants_by_node() -> Dict[str, int]:
     return _WORKER_SHARD[1].invariant_violations_by_node()  # type: ignore[index]
 
 
-def _shard_register_vm(node_id: str, vm_name: str, vfreq_mhz: float) -> None:
-    _WORKER_SHARD[1].register_vm(node_id, vm_name, vfreq_mhz)  # type: ignore[index]
+def _shard_register_vm(
+    node_id: str, vm_name: str, vfreq_mhz: float, tenant: Optional[str]
+) -> None:
+    _WORKER_SHARD[1].register_vm(  # type: ignore[index]
+        node_id, vm_name, vfreq_mhz, tenant=tenant
+    )
 
 
 def _shard_unregister_vm(node_id: str, vm_name: str) -> None:
@@ -587,11 +598,18 @@ class ShardedNodeManager:
 
     # -- VM routing -------------------------------------------------------------
 
-    def register_vm(self, node_id: str, vm_name: str, vfreq_mhz: float) -> None:
+    def register_vm(
+        self,
+        node_id: str,
+        vm_name: str,
+        vfreq_mhz: float,
+        *,
+        tenant: Optional[str] = None,
+    ) -> None:
         self.start()
         shard_id = self.shard_of(node_id)
         self._pools[shard_id].submit(
-            _shard_register_vm, node_id, vm_name, vfreq_mhz
+            _shard_register_vm, node_id, vm_name, vfreq_mhz, tenant
         ).result()
 
     def unregister_vm(self, node_id: str, vm_name: str) -> None:

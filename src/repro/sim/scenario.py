@@ -47,6 +47,9 @@ class VMGroup:
     workload_factory: Optional[WorkloadFactory]
     start_time: float = 0.0
     label: Optional[str] = None
+    #: Billing owner of this group's instances; ``None`` inherits the
+    #: template's tenant.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.count <= 0:
@@ -55,6 +58,8 @@ class VMGroup:
             raise ValueError("start_time must be >= 0")
         if self.label is None:
             self.label = self.template.name
+        if self.tenant is None:
+            self.tenant = self.template.tenant
 
 
 @dataclass
@@ -69,6 +74,9 @@ class ScenarioResult:
     mean_core_freq_std_mhz: float = 0.0
     controller_overhead_s: float = 0.0
     monitor_overhead_s: float = 0.0
+    #: Per-tenant invoices, populated only when the scenario ran with
+    #: ``billing=True`` (a ``repro.billing.Invoice`` list).
+    invoices: Optional[List] = None
 
     def group_freq_series(self, label: str, *, estimated: bool = True) -> TimeSeries:
         """Average vCPU frequency of a VM class over time (Figs. 6-9, 12-13)."""
@@ -99,6 +107,13 @@ class Scenario:
     run_to_completion: bool = False
     #: LLC contention strength (repro.hw.cache); 0 disables the model.
     cache_alpha: float = 0.0
+    #: Attach a billing engine (Lučanin-style performance-based
+    #: pricing) and surface invoices on the result.  Off by default —
+    #: and proven transparent: report/ledger streams are bit-identical
+    #: either way (``tests/billing/test_transparency.py``).
+    billing: bool = False
+    #: Price book for the billing engine; ``None`` uses the default.
+    price_book: Optional[object] = None
 
     def build(self, *, controlled: bool) -> Simulation:
         """Instantiate node, VMs, workloads and controller."""
@@ -145,10 +160,18 @@ class Scenario:
                 fmax_mhz=node.spec.fmax_mhz,
                 config=config,
             )
+        if self.billing:
+            from repro.billing.meter import BillingEngine
+
+            BillingEngine.attach(
+                controller, self.price_book, node_id=self.node_spec.name
+            )
         for group in self.groups:
             for k in range(group.count):
                 vm = hypervisor.provision(group.template, f"{group.label}-{k}")
-                controller.register_vm(vm.name, group.template.vfreq_mhz)
+                controller.register_vm(
+                    vm.name, group.template.vfreq_mhz, tenant=group.tenant
+                )
                 if group.workload_factory is not None:
                     attach(vm, group.workload_factory(group.template, group.start_time))
         return Simulation(
@@ -184,6 +207,9 @@ class Scenario:
             result.monitor_overhead_s = float(
                 np.mean([r.timings.monitor for r in ctrl.reports])
             )
+        billing = getattr(ctrl, "billing", None)
+        if billing is not None:
+            result.invoices = billing.invoices()
         obs = getattr(ctrl, "obs", None)
         if obs is not None:
             # Flush span/ledger sinks and write the Chrome trace export;

@@ -19,7 +19,7 @@ matter to the optional memory-aware placement constraint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,9 @@ class VMTemplate:
     vcpus: int
     vfreq_mhz: float
     memory_mb: int = 2048
+    #: Billing owner of VMs provisioned from this template (purely
+    #: descriptive — no scheduling or control decision reads it).
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.vcpus <= 0:
@@ -38,11 +41,17 @@ class VMTemplate:
             raise ValueError(f"vfreq_mhz must be positive, got {self.vfreq_mhz}")
         if self.memory_mb <= 0:
             raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
 
     @property
     def demand_mhz(self) -> float:
         """Total frequency demand ``k_v^vCPU * F_v`` (Eq. 7 LHS term)."""
         return self.vcpus * self.vfreq_mhz
+
+    def with_tenant(self, tenant: str) -> "VMTemplate":
+        """The same shape owned by a different tenant (catalogue reuse)."""
+        return replace(self, tenant=tenant)
 
 
 SMALL = VMTemplate(name="small", vcpus=2, vfreq_mhz=500.0, memory_mb=1024)

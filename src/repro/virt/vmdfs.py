@@ -86,13 +86,21 @@ class VmdfsController:
         self._states[vm.name] = _VmState()
         self._vms[vm.name] = vm
 
-    def register_vm(self, vm_name: str, vfreq_mhz: float = 0.0) -> None:
+    def register_vm(
+        self,
+        vm_name: str,
+        vfreq_mhz: float = 0.0,
+        *,
+        tenant: Optional[str] = None,
+    ) -> None:
         """Declare a hosted VM.
 
-        ``vfreq_mhz`` is accepted for protocol compatibility and
-        ignored: VMDFS-class systems have no notion of differentiated
-        frequency guarantees — precisely the §II criticism.
+        ``vfreq_mhz`` and ``tenant`` are accepted for protocol
+        compatibility and ignored: VMDFS-class systems have no notion
+        of differentiated frequency guarantees (precisely the §II
+        criticism), and this baseline does not bill.
         """
+        del tenant
         vm = self._vms.get(vm_name)
         if vm is None:
             if self.vm_lookup is None:

@@ -1,0 +1,2 @@
+"""Billing subsystem tests: pricing units, Hypothesis properties,
+mutant-catch acceptance, billing-off transparency, oracle acceptance."""

@@ -1,0 +1,120 @@
+"""End-to-end acceptance of the billing oracle + shrinker pipeline.
+
+Two intentionally-planted billing mutants — an off-by-one in the
+cycle-class decomposition and a wrong (scarcity-blind) spot rate —
+must each be (1) caught by the oracle at the very first control tick,
+(2) shrunk by delta debugging to a <= 2-event minimal repro, and
+(3) red when that repro replays from disk — while the unmutated
+engine replays the same traces green.  This is the billing analogue
+of ``tests/checking/test_mutant_catch.py``.
+"""
+
+import pytest
+
+from repro.billing.pricing import PriceBook
+from repro.checking import (
+    Trace,
+    billing_predicate,
+    generate_trace,
+    replay_with_billing,
+    shrink_trace,
+)
+
+#: The handcrafted minimal repro: one saturated VM, one tick.  Demand
+#: at level 1.0 with a small guarantee forces auction purchases (and a
+#: free share) on tick 1, so both mutants are visible immediately.
+MINIMAL_EVENTS = [
+    {"kind": "provision", "vm": "vm0", "vcpus": 1, "vfreq": 150.0,
+     "tenant": "acme", "level": 1.0},
+    {"kind": "tick"},
+]
+
+
+def minimal_trace() -> Trace:
+    return Trace(header=Trace.make_header(engine="scalar"),
+                 events=[dict(e) for e in MINIMAL_EVENTS])
+
+
+@pytest.fixture
+def meter_mutant(monkeypatch):
+    """Off-by-one in the decomposition: one phantom guaranteed cycle."""
+    import repro.billing.meter as meter_mod
+
+    real = meter_mod.decompose
+
+    def broken(base, purchased, fallback, allocation):
+        guaranteed, purchased_c, free_c = real(
+            base, purchased, fallback, allocation
+        )
+        return guaranteed + 1.0, purchased_c, free_c
+
+    monkeypatch.setattr(meter_mod, "decompose", broken)
+
+
+@pytest.fixture
+def spot_mutant(monkeypatch):
+    """Wrong spot rate: the scarcity scaling silently dropped."""
+    monkeypatch.setattr(
+        PriceBook, "spot_rate",
+        lambda self, fraction_sold: self.spot_base_rate,
+    )
+
+
+def assert_caught_and_shrinks(trace, tmp_path, name):
+    # 1) caught: the earliest violation is on the very first tick.
+    result = replay_with_billing(trace)
+    assert result.violations
+    first = result.violations[0]
+    assert first.invariant in ("billing_tick_revenue",
+                               "billing_tick_credits")
+    assert first.t == 1.0
+
+    # 2) shrunk: delta debugging reaches the 2-event floor
+    #    (one provision + one tick).
+    minimal = shrink_trace(trace, predicate=billing_predicate())
+    assert len(minimal.events) <= 2
+
+    # 3) the minimal repro replays red from disk.
+    path = tmp_path / f"repro_{name}.jsonl"
+    minimal.save(str(path))
+    assert replay_with_billing(Trace.load(str(path))).violations
+
+
+class TestMeterMutant:
+    def test_caught_at_tick_one_and_shrinks(self, meter_mutant, tmp_path):
+        trace = generate_trace(3, ticks=30, tenants=2)
+        assert_caught_and_shrinks(trace, tmp_path, "meter_mutant")
+
+    def test_handcrafted_two_event_repro_is_red(self, meter_mutant):
+        result = replay_with_billing(minimal_trace())
+        assert result.violations
+        assert result.violations[0].t == 1.0
+
+
+class TestSpotMutant:
+    def test_caught_at_tick_one_and_shrinks(self, spot_mutant, tmp_path):
+        trace = generate_trace(3, ticks=30, tenants=2)
+        assert_caught_and_shrinks(trace, tmp_path, "spot_mutant")
+
+    def test_handcrafted_two_event_repro_is_red(self, spot_mutant):
+        result = replay_with_billing(minimal_trace())
+        assert result.violations
+        assert result.violations[0].t == 1.0
+
+
+class TestUnmutated:
+    def test_generated_trace_replays_green(self):
+        trace = generate_trace(3, ticks=30, tenants=2)
+        result = replay_with_billing(trace)
+        assert result.replay.ok
+        assert result.violations == []
+
+    def test_minimal_trace_replays_green_and_meters_purchases(self):
+        result = replay_with_billing(minimal_trace())
+        assert result.ok
+        meter = result.billing["scalar"].meter
+        kinds = {key[4] for key in meter.usage}
+        # the handcrafted repro really exercises the auction path:
+        # without purchased/free cycles the spot mutant would be
+        # invisible and the 2-event floor unreachable.
+        assert "purchased" in kinds or "free" in kinds

@@ -1,0 +1,67 @@
+"""Scenario-level billing: attach via ``Scenario(billing=True)``."""
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.metrics_export import render_billing
+from repro.hw.nodespecs import CHETEMI
+from repro.sim.scenario import Scenario, VMGroup
+from repro.virt.template import VMTemplate
+from repro.workloads.synthetic import ConstantWorkload
+
+
+def _scenario(billing: bool) -> Scenario:
+    return Scenario(
+        name="billing-smoke",
+        node_spec=CHETEMI,
+        groups=[
+            VMGroup(
+                template=VMTemplate(
+                    "small", vcpus=1, vfreq_mhz=400.0, tenant="acme"
+                ),
+                count=2,
+                workload_factory=lambda template, start: ConstantWorkload(
+                    template.vcpus, level=0.8
+                ),
+            ),
+            VMGroup(
+                template=VMTemplate("burst", vcpus=1, vfreq_mhz=700.0),
+                count=1,
+                tenant="globex",  # group override beats template default
+                workload_factory=lambda template, start: ConstantWorkload(
+                    template.vcpus, level=0.5
+                ),
+            ),
+        ],
+        duration=4.0,
+        controller_config=ControllerConfig.paper_evaluation(),
+        billing=billing,
+    )
+
+
+class TestScenarioBilling:
+    def test_billed_run_surfaces_invoices(self):
+        result = _scenario(billing=True).run(controlled=True)
+        assert result.invoices is not None
+        tenants = [inv.tenant for inv in result.invoices]
+        assert tenants == ["acme", "globex"]
+        assert all(inv.revenue > 0.0 for inv in result.invoices)
+        for inv in result.invoices:
+            assert inv.total == pytest.approx(
+                inv.revenue - inv.sla_credits
+            )
+
+    def test_unbilled_run_has_no_invoices(self):
+        result = _scenario(billing=False).run(controlled=True)
+        assert result.invoices is None
+
+    def test_render_billing_families(self):
+        sim = _scenario(billing=True).build(controlled=True)
+        ctrl = sim.controller
+        assert ctrl.billing is not None
+        sim.run(4.0)
+        text = render_billing(ctrl.billing)
+        assert "# HELP vfreq_revenue_total" in text
+        assert 'tenant="acme"' in text
+        assert "vfreq_metered_mhz_seconds_total" in text
+        assert "vfreq_sla_credits_total" in text

@@ -14,6 +14,8 @@ run reproduces locally with the same flag; the ``ci`` profile lives in
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 from hypothesis import strategies as st
 
 from tests.conftest import TINY
@@ -33,11 +35,16 @@ def vm_fleets(
     capacity_mhz: float = TINY.capacity_mhz,
     min_vfreq: float = 100.0,
     max_vfreq: float = 2300.0,
+    tenants: Optional[Sequence[str]] = None,
 ):
     """A heterogeneous, Eq. 7-admissible fleet of single-vCPU VMs.
 
     Returns a non-empty list of ``(level, vfreq_mhz)`` pairs whose
-    committed vfreqs sum to at most ``capacity_mhz``.
+    committed vfreqs sum to at most ``capacity_mhz``.  With ``tenants``
+    given, returns ``(level, vfreq_mhz, tenant)`` triples instead, each
+    tenant drawn independently — the earlier suites implicitly billed
+    every VM to one tenant, which a per-tenant accounting bug can hide
+    behind.  ``tenants=None`` draws are byte-identical to before.
     """
     n = draw(st.integers(min_value=1, max_value=max_vms))
     fleet = []
@@ -51,7 +58,10 @@ def vm_fleets(
         )
         level = draw(levels)
         committed += vfreq
-        fleet.append((level, vfreq))
+        if tenants is None:
+            fleet.append((level, vfreq))
+        else:
+            fleet.append((level, vfreq, draw(st.sampled_from(list(tenants)))))
     return fleet
 
 

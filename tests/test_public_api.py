@@ -94,6 +94,23 @@ EXPECTED = {
         "render_rebalance",
         "render_report",
         "render_resilience",
+        "render_billing",
+    },
+    "repro.billing": {
+        "BillingEngine",
+        "CreditLine",
+        "DEFAULT_PRICE_BOOK",
+        "Invoice",
+        "InvoiceLine",
+        "PriceBook",
+        "PriceTier",
+        "UsageMeter",
+        "build_invoices",
+        "decompose",
+        "invoices_to_json",
+        "mhz_seconds_per_cycle",
+        "render_invoices",
+        "sold_fraction",
     },
     "repro.sim": {
         "NodeManager",
@@ -172,8 +189,12 @@ EXPECTED = {
         "InvariantViolationError",
         "Violation",
         "FuzzResult",
+        "audit_billing",
+        "billing_predicate",
+        "derive_billing",
         "fuzz_one",
         "generate_trace",
+        "replay_with_billing",
         "shrink_trace",
         "ReplayResult",
         "Trace",
