@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage fuzz-smoke fuzz-long billing-smoke bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke bench-rebalance-smoke bench-cluster-smoke obs-smoke examples figures clean
+.PHONY: install test coverage fuzz-smoke fuzz-long billing-smoke slo-smoke bench bench-smoke bench-faults-smoke bench-perf-smoke bench-bulk-smoke bench-obs-smoke bench-rebalance-smoke bench-cluster-smoke bench-slo-smoke obs-smoke examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -13,7 +13,7 @@ test:
 # tests with line coverage and the CI fail-under gate (needs pytest-cov,
 # installed by `make install`)
 coverage:
-	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=72
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=73
 
 # seeded scenario fuzz with every paper-equation oracle armed: 25 seeds
 # x 200 ticks x 2 engines = 10k engine-ticks, cross-engine bit-identity
@@ -32,6 +32,14 @@ fuzz-long:
 # zero billing violations; failing seeds shrink into billing-repros/)
 billing-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bill fuzz --seeds 17 --ticks 200 --tenants 3 --engine all --repro-dir billing-repros
+
+# fuzzed SLO-plane audit: 3 seeds x 150 ticks x 3 engines with the
+# plane + billing attached, three gates armed per seed — cross-engine
+# alert-stream equality, byte-identical ledgers across replays, and
+# report-stream transparency against a detached run (CI gate: zero
+# failing seeds; alert ledgers + summary land in slo-artefacts/)
+slo-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro slo eval --seeds 3 --ticks 150 --tenants 3 --engine all --out slo-artefacts
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -87,6 +95,13 @@ bench-cluster-smoke:
 	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_cluster_scale.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
 
+# quick SLO-plane scrape cost at 64 nodes (CI gates: the ingest+evaluate
+# p50 fits one control period outright and no gated leaf regresses
+# against the committed BENCH_slo.json baseline)
+bench-slo-smoke:
+	BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_slo_overhead.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) benchmarks/check_perf_regression.py
+
 # boot the /metrics endpoint on a live observed host and scrape it once
 # (CI gate: exposition format parses, every family appears exactly once)
 obs-smoke:
@@ -106,5 +121,5 @@ examples:
 	$(PYTHON) examples/burst_vs_vfreq.py
 
 clean:
-	rm -rf benchmarks/artefacts.log benchmarks/results .pytest_cache fuzz-repros billing-repros .coverage
+	rm -rf benchmarks/artefacts.log benchmarks/results .pytest_cache fuzz-repros billing-repros slo-artefacts .coverage
 	find . -name __pycache__ -type d -exec rm -rf {} +

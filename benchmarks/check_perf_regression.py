@@ -5,7 +5,9 @@ benches) against the matching repo-root ``BENCH_*.json`` baseline that
 ships with the tree — ``BENCH_controller.json`` for the engine benches
 (``bench_scaling.py``, ``bench_bulk.py``, ``bench_cluster_scale.py``'s
 node curve), ``BENCH_rebalance.json`` for the rebalance control plane
-(``bench_rebalance.py``, ``bench_cluster_scale.py``'s chaos1000).  A pair is only
+(``bench_rebalance.py``, ``bench_cluster_scale.py``'s chaos1000),
+``BENCH_slo.json`` for the SLO plane's cluster scrape
+(``bench_slo_overhead.py``).  A pair is only
 checked when both files exist, so each smoke target gates just its own
 bench; at least one pair must be comparable.  For every section present
 in both files of a pair, every gated "lower is better" timing leaf —
@@ -17,8 +19,9 @@ Scalar-engine numbers are reference points, not gates.  Three sections
 carry hard budgets on top of the relative gates — they must fit inside
 one control period regardless of baseline: the 10k-VM tick's worst
 tick (``tick10k``), the 1000-node control loop's snapshot+plan p50
-(``chaos1000``), and the sharded/shared-memory cluster tick at the node
-curve's largest point (``node_curve``).
+(``chaos1000``), the sharded/shared-memory cluster tick at the node
+curve's largest point (``node_curve``), and the SLO plane's
+ingest+evaluate scrape p50 (``slo1000`` / ``slo_smoke``).
 
 Absolute timings wobble across machines; the committed baselines are
 refreshed together with any intentional perf change (see
@@ -38,6 +41,7 @@ RESULTS = REPO_ROOT / "benchmarks" / "results"
 PAIRS = [
     (REPO_ROOT / "BENCH_controller.json", RESULTS / "BENCH_controller.json"),
     (REPO_ROOT / "BENCH_rebalance.json", RESULTS / "BENCH_rebalance.json"),
+    (REPO_ROOT / "BENCH_slo.json", RESULTS / "BENCH_slo.json"),
 ]
 
 #: gated leaves are "lower is better" timings
@@ -99,6 +103,8 @@ def _check_pair(baseline_path, fresh_path, tolerance, failures):
             budget_leaves.append("view_plan_p50_seconds_per_round")
         if section.startswith("node_curve"):
             budget_leaves.append("sharded_shm_max_tick_seconds")
+        if section.startswith("slo"):
+            budget_leaves.append("observe_p50_seconds_per_tick")
         for leaf in budget_leaves:
             budget = float(fresh[section].get("control_period_s", 1.0))
             worst = float(fresh[section][leaf])

@@ -129,9 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
     p7.add_argument("--round", type=int, default=None, metavar="N",
                     help="with --move: pin the rebalance round "
                          "(default: the VM's latest move)")
+    p7.add_argument("--alert", default=None, metavar="SLO",
+                    help="explain an alert transition of this SLO from an "
+                         "alert ledger instead of a cpu.max write (e.g. "
+                         "'guarantee' or 'anomaly:backend_errors_total')")
+    p7.add_argument("--index", type=int, default=None, metavar="N",
+                    help="with --alert: pin the N-th transition of that "
+                         "SLO (default: the latest)")
     p7.add_argument("--ledger", default=None, metavar="FILE",
                     help="ledger JSONL file (default: <obs-dir>/ledger.jsonl, "
-                         "or <obs-dir>/rebalance.jsonl with --move)")
+                         "<obs-dir>/rebalance.jsonl with --move, or "
+                         "<obs-dir>/alerts.jsonl with --alert)")
     p7.add_argument("--obs-dir", default=None, metavar="DIR",
                     help="observability output directory of the run")
 
@@ -249,6 +257,57 @@ def build_parser() -> argparse.ArgumentParser:
                     help="shrink each failing seed's trace and write the "
                          "minimal JSONL repro into DIR")
 
+    p12 = sub.add_parser(
+        "slo",
+        help="cluster SLO plane: burn-rate alert evaluation over fuzzed "
+             "runs, live terminal dashboard (docs/observability.md)",
+    )
+    slosub = p12.add_subparsers(dest="slo_command", required=True)
+    sle = slosub.add_parser(
+        "eval",
+        help="fuzzed multi-tenant runs with the SLO plane attached; "
+             "asserts byte-identical alert ledgers across replays and "
+             "bit-identical reports with the plane detached (the "
+             "slo-smoke gate)",
+    )
+    sle.add_argument("--seeds", type=int, default=3, metavar="N",
+                     help="number of consecutive seeds to run (default 3)")
+    sle.add_argument("--start-seed", type=int, default=0, metavar="S")
+    sle.add_argument("--ticks", type=int, default=150, metavar="T",
+                     help="controller ticks per scenario (default 150)")
+    sle.add_argument("--tenants", type=int, default=3,
+                     help="tenants per scenario (default 3)")
+    sle.add_argument("--engine", choices=_ENGINE_MULTI, default="all",
+                     help="engine(s) to evaluate under (default all)")
+    sle.add_argument("--out", default=None, metavar="DIR",
+                     help="write per-seed alert ledgers and a summary "
+                          "JSON into DIR (the CI artefact)")
+    sle.add_argument("--no-determinism", dest="determinism",
+                     action="store_false",
+                     help="skip the byte-identical-replay check")
+    sle.add_argument("--no-transparency", dest="transparency",
+                     action="store_false",
+                     help="skip the attached-vs-detached report check")
+    slw = slosub.add_parser(
+        "watch",
+        help="tick a small demo cluster and render a terminal SLO "
+             "dashboard (budgets, burn rates, firing alerts)",
+    )
+    slw.add_argument("--nodes", type=int, default=3,
+                     help="demo cluster size (default 3)")
+    slw.add_argument("--vms", type=int, default=4,
+                     help="VMs per node (default 4)")
+    slw.add_argument("--tenants", type=int, default=2,
+                     help="tenants to spread the VMs over (default 2)")
+    slw.add_argument("--ticks", type=int, default=60,
+                     help="controller ticks to run (default 60)")
+    slw.add_argument("--every", type=int, default=10, metavar="K",
+                     help="dashboard refresh period in ticks (default 10)")
+    slw.add_argument("--seed", type=int, default=42)
+    slw.add_argument("--out", default=None, metavar="DIR",
+                     help="also mirror the alert ledger to DIR/alerts.jsonl "
+                          "(for 'repro explain --alert')")
+
     p9 = sub.add_parser(
         "serve-metrics",
         help="run a small simulated host and serve live Prometheus "
@@ -263,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
     p9.add_argument("--self-test", action="store_true",
                     help="bind an ephemeral port, perform one real "
                          "loopback scrape, validate the payload and exit")
+    p9.add_argument("--cluster", type=int, default=0, metavar="N",
+                    help="serve a small N-node NodeManager cluster instead "
+                         "of a single host: the scrape composes the "
+                         "cluster, billing, rebalance and SLO families")
     _add_controller_flags(p9)
 
     return parser
@@ -430,6 +493,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "rebalance": _cmd_rebalance,
         "bill": _cmd_bill,
+        "slo": _cmd_slo,
         "serve-metrics": _cmd_serve_metrics,
     }[args.command]
     return command(args)
@@ -697,6 +761,27 @@ def _cmd_check_replay(args) -> int:
 
 def _cmd_explain(args) -> int:
     import os
+
+    if args.alert is not None:
+        from repro.obs.slo import explain_alert_from_entries, load_alerts_jsonl
+
+        path = args.ledger
+        if path is None:
+            if args.obs_dir is None:
+                print("explain: need --ledger FILE or --obs-dir DIR",
+                      file=sys.stderr)
+                return 2
+            path = os.path.join(args.obs_dir, "alerts.jsonl")
+        if not os.path.exists(path):
+            print(f"explain: no alert ledger at {path}", file=sys.stderr)
+            return 2
+        entries = load_alerts_jsonl(path)
+        try:
+            print(explain_alert_from_entries(entries, args.alert, args.index))
+        except KeyError as exc:
+            print(f"explain: {exc.args[0]}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.move is not None:
         from repro.rebalance.ledger import (
@@ -1067,53 +1152,384 @@ def _cmd_bill_fuzz(args) -> int:
     return 1 if failures else 0
 
 
+# ---------------------------------------------------------------------------
+# slo subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_slo(args) -> int:
+    return {
+        "eval": _cmd_slo_eval,
+        "watch": _cmd_slo_watch,
+    }[args.slo_command](args)
+
+
+def _multi_engines(choice: str):
+    if choice == "both":
+        return ("scalar", "vectorized")
+    if choice == "all":
+        from repro.checking.trace import ENGINES
+
+        return ENGINES
+    return (choice,)
+
+
+def _cmd_slo_eval(args) -> int:
+    """Fuzzed runs with the SLO plane attached, two gates armed:
+
+    * **determinism** — replaying the identical trace twice yields
+      byte-identical serialized alert-transition ledgers (the
+      deterministic profile, ``wallclock=False``), and all engines
+      produce the same stream;
+    * **transparency** — report streams with the plane (and billing)
+      attached are bit-identical to a detached replay, field for field.
+    """
+    import json
+    import os
+
+    from repro.billing import DEFAULT_PRICE_BOOK, BillingEngine
+    from repro.checking import generate_trace
+    from repro.checking.trace import _compare_reports, replay
+    from repro.obs.slo import SLOConfig, SLOPlane
+
+    engines = _multi_engines(args.engine)
+
+    def run_attached(trace):
+        """One attached replay; returns (result, planes-by-engine)."""
+        planes = {}
+        billing = {}
+
+        def attach(controller, engine: str) -> None:
+            bill = billing.get(engine)
+            if bill is None:
+                bill = billing[engine] = BillingEngine(DEFAULT_PRICE_BOOK)
+            controller.billing = bill
+            plane = planes.get(engine)
+            if plane is None:
+                plane = planes[engine] = SLOPlane(
+                    SLOConfig(wallclock=False)
+                )
+            controller.slo = plane
+
+        result = replay(
+            trace, engines=engines, stop_at_first=False,
+            collect_reports=args.transparency, attach=attach,
+        )
+        return result, planes
+
+    def alert_stream(plane) -> str:
+        return "\n".join(
+            json.dumps(t, sort_keys=True) for t in plane.ledger.transitions
+        )
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    failures = 0
+    summary = []
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        trace = generate_trace(seed, ticks=args.ticks, tenants=args.tenants)
+        problems = []
+        result, planes = run_attached(trace)
+        if result.violations:
+            problems.append(
+                f"{len(result.violations)} oracle violation(s), first: "
+                f"{result.violations[0]}"
+            )
+        streams = {e: alert_stream(planes[e]) for e in result.engines}
+        first = result.engines[0]
+        for engine in result.engines[1:]:
+            if streams[engine] != streams[first]:
+                problems.append(
+                    f"alert streams differ across engines "
+                    f"({first} vs {engine})"
+                )
+        if args.determinism:
+            result2, planes2 = run_attached(trace)
+            for engine in result.engines:
+                if alert_stream(planes2[engine]) != streams[engine]:
+                    problems.append(
+                        f"[{engine}] alert ledger not byte-identical "
+                        f"across identical replays"
+                    )
+        if args.transparency:
+            detached = replay(
+                trace, engines=engines, stop_at_first=False,
+                collect_reports=True,
+            )
+            for engine in result.engines:
+                pairs = zip(result.reports[engine], detached.reports[engine])
+                for tick, (attached_r, detached_r) in enumerate(pairs, 1):
+                    diffs = _compare_reports(
+                        attached_r, detached_r,
+                        (f"{engine}+slo", engine), float(tick),
+                    )
+                    if diffs:
+                        problems.append(
+                            f"[{engine}] report diverged with the plane "
+                            f"attached at tick {tick}: {diffs[0]}"
+                        )
+                        break
+        transitions = len(planes[first].ledger.transitions)
+        firing = len(planes[first].firing_alerts())
+        status = "FAIL" if problems else "ok"
+        print(
+            f"seed {seed}: {result.ticks} ticks x {len(result.engines)} "
+            f"engine(s), {transitions} alert transition(s), {firing} "
+            f"still firing [{status}]"
+        )
+        for problem in problems:
+            print(f"  {problem}")
+        if args.out:
+            path = os.path.join(args.out, f"alerts_seed{seed}.jsonl")
+            with open(path, "w") as fh:
+                if streams[first]:
+                    fh.write(streams[first] + "\n")
+        summary.append({
+            "seed": seed,
+            "ticks": result.ticks,
+            "engines": list(result.engines),
+            "transitions": transitions,
+            "firing": firing,
+            "problems": problems,
+        })
+        failures += bool(problems)
+    if args.out:
+        with open(os.path.join(args.out, "summary.json"), "w") as fh:
+            json.dump({"seeds": summary, "failures": failures}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+    verdict = "FAIL" if failures else "ok"
+    checks = ["cross-engine"]
+    if args.determinism:
+        checks.append("replay-determinism")
+    if args.transparency:
+        checks.append("transparency")
+    print(
+        f"slo eval: {args.seeds} seed(s) x {args.ticks} ticks under "
+        f"{'/'.join(engines)}, checks: {', '.join(checks)}, "
+        f"{failures} failing seed(s) [{verdict}]"
+    )
+    return 1 if failures else 0
+
+
+def _demo_cluster(nodes: int, vms_per_node: int, tenants: int, seed: int,
+                  cfg, *, name: str = "slo-demo"):
+    """N single-socket demo nodes under one NodeManager, billing
+    attached per node.  Returns (manager, per-node VM lists)."""
+    from repro.billing import BillingEngine
+    from repro.core.controller import VirtualFrequencyController
+    from repro.hw.node import Node
+    from repro.hw.nodespecs import NodeSpec
+    from repro.sim.node_manager import NodeManager
+    from repro.virt.hypervisor import Hypervisor, VMTemplate
+
+    manager = NodeManager(parallel=False)
+    cluster_vms = {}
+    template = VMTemplate("demo", vcpus=2, vfreq_mhz=600.0)
+    k = 0
+    for n in range(nodes):
+        node_id = f"node-{n}"
+        spec = NodeSpec(
+            name=f"{name}-{n}", cpu_model="demo CPU", sockets=1,
+            cores_per_socket=2, threads_per_core=2, fmax_mhz=2400.0,
+            fmin_mhz=1200.0, memory_mb=8 * 1024, freq_jitter_mhz=0.0,
+        )
+        node = Node(spec, seed=seed + n)
+        hv = Hypervisor(node)
+        ctrl = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=spec.logical_cpus, fmax_mhz=spec.fmax_mhz, config=cfg,
+        )
+        BillingEngine.attach(ctrl, node_id=node_id)
+        vms = []
+        for _ in range(vms_per_node):
+            vm = hv.provision(template, f"demo-{k}")
+            ctrl.register_vm(
+                vm.name, template.vfreq_mhz,
+                tenant=f"tenant-{k % tenants}",
+            )
+            vms.append(vm)
+            k += 1
+        manager.add_node(node_id, ctrl)
+        cluster_vms[node_id] = (node, vms)
+    return manager, cluster_vms
+
+
+def _cmd_slo_watch(args) -> int:
+    import random
+
+    from repro.core.config import ControllerConfig
+    from repro.obs.slo import SLOConfig, SLOPlane
+
+    cfg = ControllerConfig.paper_evaluation()
+    plane = SLOPlane(SLOConfig(period_s=cfg.period_s, out_dir=args.out))
+    manager, cluster_vms = _demo_cluster(
+        args.nodes, args.vms, args.tenants, args.seed, cfg
+    )
+    rng = random.Random(args.seed)
+    try:
+        for tick in range(1, args.ticks + 1):
+            t = float(tick)
+            for node_id in sorted(cluster_vms):
+                node, vms = cluster_vms[node_id]
+                for vm in vms:
+                    vm.set_uniform_demand(rng.random())
+                node.step(cfg.period_s)
+            manager.tick(t)
+            transitions = plane.observe_cluster(manager, tick, t=t)
+            for transition in transitions:
+                print(
+                    f"  tick {tick}: {transition['state'].upper()} "
+                    f"{transition['slo']} {transition['labels']} "
+                    f"({transition['severity']})"
+                )
+            if tick % args.every == 0 or tick == args.ticks:
+                _print_slo_dashboard(plane, tick)
+    finally:
+        manager.close()
+        plane.close()
+    if args.out:
+        print(f"alert ledger: {plane.ledger.path} "
+              f"(try: python -m repro explain --alert <slo> "
+              f"--obs-dir {args.out})")
+    return 0
+
+
+def _print_slo_dashboard(plane, tick: int) -> None:
+    rows = []
+    for spec in plane.specs:
+        for labelset in plane._label_sets(spec):
+            labels = dict(labelset)
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            ) or "-"
+            firing = [
+                severity for severity in ("page", "ticket")
+                if (spec.name, labelset, severity) in plane._firing
+            ]
+            rows.append([
+                spec.name,
+                label_text,
+                f"{spec.objective:.3%}",
+                f"{plane.error_budget_remaining(spec, labels):.1%}",
+                f"{plane.burn_rate(spec, 60, labels):.2f}x",
+                f"{plane.burn_rate(spec, 5, labels):.2f}x",
+                ",".join(firing) if firing else "ok",
+            ])
+    print(render_table(
+        ["slo", "labels", "objective", "budget left", "burn 60t",
+         "burn 5t", "state"],
+        rows,
+        title=f"SLO dashboard @ tick {tick} "
+              f"({plane.transitions_total} transition(s) so far)",
+    ))
+
+
 def _cmd_serve_metrics(args) -> int:
     import random
     import time
     import urllib.request
 
     from repro.core.config import ControllerConfig
-    from repro.core.controller import VirtualFrequencyController
-    from repro.core.metrics_export import render_controller
-    from repro.hw.node import Node
-    from repro.hw.nodespecs import NodeSpec
-    from repro.obs import MetricsServer, ObsConfig
-    from repro.virt.hypervisor import Hypervisor, VMTemplate
-
-    spec = NodeSpec(
-        name="metrics-demo", cpu_model="demo CPU", sockets=1,
-        cores_per_socket=2, threads_per_core=2, fmax_mhz=2400.0,
-        fmin_mhz=1200.0, memory_mb=8 * 1024, freq_jitter_mhz=0.0,
+    from repro.core.metrics_export import (
+        MetricsBuffer,
+        render_billing,
+        render_controller,
+        render_node_manager,
+        render_rebalance,
+        render_slo,
     )
-    node = Node(spec, seed=args.seed)
-    hv = Hypervisor(node)
+    from repro.obs import MetricsServer, ObsConfig
+    from repro.obs.slo import SLOConfig, SLOPlane
+
     base = ControllerConfig.paper_evaluation(
         observability=ObsConfig(out_dir=args.obs_dir),
         check_invariants=True,
     )
     cfg = _build_config(args, base)
-    ctrl = VirtualFrequencyController(
-        node.fs, node.procfs, node.sysfs,
-        num_cpus=spec.logical_cpus, fmax_mhz=spec.fmax_mhz, config=cfg,
-    )
-    template = VMTemplate("demo", vcpus=2, vfreq_mhz=600.0)
     rng = random.Random(args.seed)
-    vms = []
-    for k in range(args.vms):
-        vm = hv.provision(template, f"demo-{k}")
-        ctrl.register_vm(vm.name, template.vfreq_mhz)
-        vms.append(vm)
 
-    def one_tick(i: int) -> None:
-        for vm in vms:
-            vm.set_uniform_demand(rng.random())
-        node.step(cfg.period_s)
-        ctrl.tick(float(i))
+    if args.cluster > 0:
+        manager, cluster_vms = _demo_cluster(
+            args.cluster, args.vms, 2, args.seed, cfg, name="metrics-demo"
+        )
+        plane = SLOPlane(SLOConfig(period_s=cfg.period_s))
+        loop = _metrics_demo_rebalance(args.seed)
+        plane.observe_rebalance(loop)
+
+        def one_tick(i: int) -> None:
+            for node_id in sorted(cluster_vms):
+                node, vms = cluster_vms[node_id]
+                for vm in vms:
+                    vm.set_uniform_demand(rng.random())
+                node.step(cfg.period_s)
+            manager.tick(float(i))
+            plane.observe_cluster(manager, i, t=float(i))
+
+        def scrape() -> str:
+            # One exposition page: manager aggregates, every node's
+            # controller (which folds its billing engine in), the
+            # rebalance loop, and the cluster SLO plane.
+            buf = MetricsBuffer()
+            render_node_manager(manager, buf)
+            for node_id in sorted(manager.controllers):
+                render_controller(
+                    manager.controllers[node_id], buf, {"node": node_id}
+                )
+            render_rebalance(loop, buf)
+            render_slo(plane, buf)
+            return buf.text()
+
+        close = manager.close
+    else:
+        from repro.billing import BillingEngine
+        from repro.core.controller import VirtualFrequencyController
+        from repro.hw.node import Node
+        from repro.hw.nodespecs import NodeSpec
+        from repro.virt.hypervisor import Hypervisor, VMTemplate
+
+        spec = NodeSpec(
+            name="metrics-demo", cpu_model="demo CPU", sockets=1,
+            cores_per_socket=2, threads_per_core=2, fmax_mhz=2400.0,
+            fmin_mhz=1200.0, memory_mb=8 * 1024, freq_jitter_mhz=0.0,
+        )
+        node = Node(spec, seed=args.seed)
+        hv = Hypervisor(node)
+        ctrl = VirtualFrequencyController(
+            node.fs, node.procfs, node.sysfs,
+            num_cpus=spec.logical_cpus, fmax_mhz=spec.fmax_mhz, config=cfg,
+        )
+        BillingEngine.attach(ctrl)
+        SLOPlane.attach(ctrl)
+        template = VMTemplate("demo", vcpus=2, vfreq_mhz=600.0)
+        vms = []
+        for k in range(args.vms):
+            vm = hv.provision(template, f"demo-{k}")
+            ctrl.register_vm(vm.name, template.vfreq_mhz,
+                             tenant=f"tenant-{k % 2}")
+            vms.append(vm)
+
+        def one_tick(i: int) -> None:
+            for vm in vms:
+                vm.set_uniform_demand(rng.random())
+            node.step(cfg.period_s)
+            ctrl.tick(float(i))
+
+        def scrape() -> str:
+            # render_controller folds the attached SLO plane in itself.
+            buf = MetricsBuffer()
+            render_controller(ctrl, buf)
+            render_billing(ctrl.billing, buf)
+            return buf.text()
+
+        def close() -> None:
+            if ctrl.obs is not None:
+                ctrl.obs.close()
 
     for i in range(args.ticks):
         one_tick(i + 1)
     server = MetricsServer(
-        lambda: render_controller(ctrl),
+        scrape,
         host=args.host,
         port=0 if args.self_test else args.port,
     ).start()
@@ -1125,24 +1541,36 @@ def _cmd_serve_metrics(args) -> int:
                 body = resp.read().decode()
         finally:
             server.stop()
+            close()
         assert "text/plain" in ctype, f"unexpected content type {ctype!r}"
         helps = [ln.split()[2] for ln in body.splitlines()
                  if ln.startswith("# HELP")]
         assert len(helps) == len(set(helps)), "duplicate HELP family"
-        for family in (
+        families = [
             "vfreq_vcpu_consumed_cycles",
             "vfreq_stage_seconds",
-            "vfreq_span_seconds",
             "vfreq_invariant_checks_total",
             "vfreq_backend_ops_total",
-        ):
+            "vfreq_revenue_total",
+            "vfreq_sla_credits_total",
+            "vfreq_slo_error_budget_remaining",
+            "vfreq_alerts_firing",
+            "vfreq_alert_transitions_total",
+        ]
+        if args.cluster > 0:
+            families += [
+                "vfreq_rebalance_rounds_total",
+                "vfreq_migrations_total",
+            ]
+        else:
+            families.append("vfreq_span_seconds")
+        for family in families:
             assert f"# HELP {family} " in body, f"family missing: {family}"
         print(
             f"self-test ok: scraped {len(body.splitlines())} lines, "
             f"{len(helps)} families, ticks={args.ticks}"
+            + (f", nodes={args.cluster}" if args.cluster else "")
         )
-        if ctrl.obs is not None:
-            ctrl.obs.close()
         return 0
     tick = args.ticks
     try:
@@ -1154,9 +1582,27 @@ def _cmd_serve_metrics(args) -> int:
         pass
     finally:
         server.stop()
-        if ctrl.obs is not None:
-            ctrl.obs.close()
+        close()
     return 0
+
+
+def _metrics_demo_rebalance(seed: int):
+    """A short seeded chaos+churn burn so the ``--cluster`` endpoint's
+    rebalance families carry real counters and histograms."""
+    from repro.rebalance import (
+        ChaosConfig,
+        ChurnChaosCluster,
+        MigrationPlanner,
+        RebalanceLoop,
+    )
+
+    chaos = ChurnChaosCluster(ChaosConfig(
+        nodes=4, duration_s=30.0, seed=seed, initial_vms=40,
+        degrade_rate_per_s=0.02,
+    ))
+    loop = RebalanceLoop(MigrationPlanner(), every=5, seed=seed)
+    chaos.run(loop)
+    return loop
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

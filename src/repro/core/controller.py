@@ -212,6 +212,18 @@ class VirtualFrequencyController:
         #: transparency contract is that attaching one never changes a
         #: report or ledger byte.
         self.billing = None
+        #: SLO/alerting plane (``repro.obs.slo.SLOPlane``); same deal:
+        #: one attribute check when absent, pure observer when present.
+        #: Attach declaratively via ``ObsConfig.slo`` or at runtime with
+        #: ``SLOPlane.attach(controller)``.
+        self.slo = None
+        if (
+            self.config.observability is not None
+            and self.config.observability.slo is not None
+        ):
+            from repro.obs.slo import SLOPlane
+
+            SLOPlane.attach(self, self.config.observability.slo)
 
     @property
     def period_s(self) -> float:
@@ -831,6 +843,10 @@ class VirtualFrequencyController:
             # After obs, so the ledger entry the oracle audits against
             # exists before the tick is metered.
             self.billing.on_tick(self, report, self._tick_count)
+        if self.slo is not None:
+            # After billing, so this tick's credit dollars are already
+            # metered when the credit-burn SLO ingests them.
+            self.slo.on_tick(self, report, self._tick_count)
         if self.invariant_checker is not None:
             violations = self.invariant_checker.check(report)
             if violations:

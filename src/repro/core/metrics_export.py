@@ -497,6 +497,60 @@ def render_billing(
     return buf.text() if own else ""
 
 
+def render_slo(
+    plane,
+    buf: Optional[MetricsBuffer] = None,
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render an SLO plane's budgets, firing alerts, and transitions.
+
+    ``plane`` is duck-typed (:class:`repro.obs.slo.SLOPlane` — importing
+    it here would pull the SLO plane into every core import): anything
+    with ``specs`` / ``error_budget_remaining`` / ``firing_alerts`` /
+    ``transitions_total`` renders.  ``vfreq_slo_error_budget_remaining``
+    is per SLO (and per grouping label set — e.g. per tenant), so a
+    dashboard graphs budget exhaustion directly; ``vfreq_alerts_firing``
+    is the pager feed.
+    """
+    own = buf is None
+    if own:
+        buf = MetricsBuffer()
+    buf.family(
+        "vfreq_slo_error_budget_remaining", "gauge",
+        "Unspent error-budget fraction over the budget window.",
+    )
+    for spec in plane.specs:
+        for labelset in plane._label_sets(spec):
+            labels = dict(labelset)
+            buf.add(
+                "vfreq_slo_error_budget_remaining",
+                plane.error_budget_remaining(spec, labels),
+                **_merged({**labels, "slo": spec.name}, extra_labels),
+            )
+    buf.family(
+        "vfreq_alerts_firing", "gauge",
+        "Alerts currently firing, per SLO and severity.",
+    )
+    counts: Dict[Tuple[str, str], int] = {}
+    for alert in plane.firing_alerts():
+        key = (alert["slo"], alert["severity"])
+        counts[key] = counts.get(key, 0) + 1
+    for (slo, severity), count in sorted(counts.items()):
+        buf.add(
+            "vfreq_alerts_firing", count,
+            **_merged({"slo": slo, "severity": severity}, extra_labels),
+        )
+    buf.family(
+        "vfreq_alert_transitions_total", "counter",
+        "Firing/resolved alert transitions recorded.",
+    )
+    buf.add(
+        "vfreq_alert_transitions_total", plane.transitions_total,
+        **_merged({}, extra_labels),
+    )
+    return buf.text() if own else ""
+
+
 def render_controller(
     controller: VirtualFrequencyController,
     buf: Optional[MetricsBuffer] = None,
@@ -527,6 +581,9 @@ def render_controller(
     billing = getattr(controller, "billing", None)
     if billing is not None:
         render_billing(billing, buf, extra_labels)
+    slo = getattr(controller, "slo", None)
+    if slo is not None:
+        render_slo(slo, buf, extra_labels)
     return buf.text() if own else ""
 
 

@@ -9,18 +9,35 @@ Four independent pillars behind one hub (:class:`Observability`):
   auto-dumped on invariant violations and crashes, convertible to a
   replayable checking trace;
 * :mod:`repro.obs.logging` — structured stdlib logging +
-  :mod:`repro.obs.metrics_server` for live ``/metrics`` scrapes.
+  :mod:`repro.obs.metrics_server` for live ``/metrics`` scrapes;
+
+plus the cluster SLO plane (:class:`~repro.obs.slo.SLOPlane`):
+:mod:`repro.obs.tsdb`'s windowed time-series store,
+:mod:`repro.obs.slo`'s multi-window burn-rate alerting with an alert
+ledger (``repro explain --alert``), and :mod:`repro.obs.anomaly`'s
+deterministic EWMA/z-score detectors.
 
 Everything is stdlib-only and off the controller's hot path; see
 ``docs/observability.md``.
 """
 
+from repro.obs.anomaly import AnomalyConfig, EwmaDetector
 from repro.obs.config import ObsConfig
 from repro.obs.flight_recorder import FlightRecorder, flight_dump_to_trace
 from repro.obs.hub import Observability
 from repro.obs.ledger import DecisionLedger, explain, recompute_allocation
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics_server import MetricsServer
+from repro.obs.slo import (
+    AlertLedger,
+    BurnRateRule,
+    SLOConfig,
+    SLOPlane,
+    SLOSpec,
+    default_slos,
+    explain_alert,
+    load_alerts_jsonl,
+)
 from repro.obs.tracing import (
     JsonlSink,
     RingSink,
@@ -29,6 +46,7 @@ from repro.obs.tracing import (
     chrome_trace_events,
     write_chrome_trace,
 )
+from repro.obs.tsdb import Series, SeriesStore
 
 __all__ = [
     "ObsConfig",
@@ -47,4 +65,16 @@ __all__ = [
     "get_logger",
     "explain",
     "recompute_allocation",
+    "Series",
+    "SeriesStore",
+    "SLOConfig",
+    "SLOPlane",
+    "SLOSpec",
+    "BurnRateRule",
+    "default_slos",
+    "AlertLedger",
+    "load_alerts_jsonl",
+    "explain_alert",
+    "AnomalyConfig",
+    "EwmaDetector",
 ]

@@ -1,0 +1,102 @@
+"""Seeded EWMA / z-score anomaly detection over controller telemetry.
+
+Robust-provisioning work (Makridis et al., arXiv:1811.05533) motivates
+*statistical* detection of drifting allocation behaviour rather than
+point-in-time threshold checks.  :class:`EwmaDetector` is the smallest
+deterministic version of that idea: an exponentially-weighted mean and
+variance per watched series, a z-score against them, and a firing /
+resolved state machine with hysteresis so one noisy tick cannot flap
+an alert.
+
+Determinism contract: a detector is a pure fold over the observed
+values — same stream in, same transitions out, bit for bit.  The
+``seed`` does **not** inject randomness into detection; it picks the
+deterministic prior (initial variance floor) so fleets of detectors
+can be diversified reproducibly, and it is recorded in every
+transition for re-derivation (``repro explain --alert``).
+
+The SLO plane (:mod:`repro.obs.slo`) instantiates detectors over stage
+timings and backend error rates and routes their transitions into the
+same alert ledger as the burn-rate rules.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AnomalyConfig:
+    """Knobs of one EWMA/z-score detector."""
+
+    #: EWMA smoothing factor for the mean and variance trackers.
+    alpha: float = 0.25
+    #: Fire when ``|z| >= z_fire`` after warmup.
+    z_fire: float = 6.0
+    #: Resolve only once ``|z| <= z_resolve`` (hysteresis band).
+    z_resolve: float = 2.0
+    #: Observations before the detector may fire (the EWMA must settle).
+    warmup: int = 12
+    #: Picks the deterministic variance-floor prior; recorded in every
+    #: transition so an alert is re-derivable from the config + stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.z_fire <= self.z_resolve:
+            raise ValueError("z_fire must exceed z_resolve (hysteresis)")
+        if self.warmup < 2:
+            raise ValueError("warmup must be >= 2")
+
+
+class EwmaDetector:
+    """One watched series' EWMA mean/variance and alert state."""
+
+    __slots__ = (
+        "name", "config", "mean", "var", "n", "firing",
+        "last_z", "_floor",
+    )
+
+    def __init__(self, name: str, config: Optional[AnomalyConfig] = None):
+        self.name = name
+        self.config = config if config is not None else AnomalyConfig()
+        self.mean = 0.0
+        self.var = 0.0
+        self.n = 0
+        self.firing = False
+        self.last_z = 0.0
+        # The seeded prior: a variance floor in [1e-12, 1e-9], fixed at
+        # construction.  Guards the z-score against the exactly-constant
+        # streams a simulation produces (var == 0 -> division blow-up).
+        self._floor = 1e-12 * 10 ** (3 * random.Random(self.config.seed).random())
+
+    def observe(self, value: float) -> Optional[str]:
+        """Fold one observation; returns ``"firing"`` / ``"resolved"``
+        on a state transition, else ``None``."""
+        cfg = self.config
+        self.n += 1
+        if self.n == 1:
+            self.mean = value
+            self.var = 0.0
+            return None
+        sigma = math.sqrt(max(self.var, self._floor))
+        z = (value - self.mean) / sigma
+        self.last_z = z
+        # Update *after* scoring, so the anomaly cannot mask itself by
+        # dragging the baseline toward it in the same step.
+        delta = value - self.mean
+        self.mean += cfg.alpha * delta
+        self.var = (1.0 - cfg.alpha) * (self.var + cfg.alpha * delta * delta)
+        if self.n <= cfg.warmup:
+            return None
+        if not self.firing and abs(z) >= cfg.z_fire:
+            self.firing = True
+            return "firing"
+        if self.firing and abs(z) <= cfg.z_resolve:
+            self.firing = False
+            return "resolved"
+        return None

@@ -16,7 +16,10 @@ uninstrumented build (proved by ``tests/obs/test_transparency.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs.slo import SLOConfig
 
 
 @dataclass(frozen=True)
@@ -45,6 +48,10 @@ class ObsConfig:
     #: Emit per-VM / per-vCPU sub-spans (the bulk of the span volume;
     #: disable to trace stage timings only).
     per_vcpu_spans: bool = True
+    #: Attach a :class:`repro.obs.slo.SLOPlane` declaratively: the SLO
+    #: catalogue + burn-rate alerting evaluated at every tick boundary.
+    #: ``None`` (the default) skips the plane entirely.
+    slo: Optional["SLOConfig"] = None
 
     def __post_init__(self) -> None:
         if self.flight_recorder_ticks < 0:

@@ -17,7 +17,7 @@ fetched lazily — ``ShardedNodeManager.fetch_report`` — only for
 Segment layout (all offsets in bytes, one segment per shard)::
 
     header     int64[8]    [catalog_version, n_nodes, n_vms,
-                            node_cap, vm_cap, ticks, 0, 0]
+                            node_cap, vm_cap, ticks, seq, 0]
     t          float64[1]  control time of the published tick
     backend    int64[11]   BackendStats counters (BACKEND_FIELDS order)
     invariants int64[2]    (checks, violations) shard totals
@@ -92,6 +92,14 @@ _N_BACKEND = len(BACKEND_FIELDS)
 
 #: ``header`` slot indices.
 H_CATALOG_VERSION, H_N_NODES, H_N_VMS, H_NODE_CAP, H_VM_CAP, H_TICKS = range(6)
+#: Sequence counter (seqlock): the writer holds it *odd* while
+#: mutating rows and bumps it back to even once the tick is fully
+#: published.  A reader that wants a consistent cross-block snapshot
+#: (:meth:`ShardTelemetryReader.stable_snapshot`) copies the rows only
+#: between two equal even reads — the barrier-tick parent never
+#: actually retries (publish happens before the future resolves), but
+#: a streaming scraper attached mid-tick can.
+H_SEQ = 6
 
 #: One shard's catalog: (node ids, vm names, vm node-slots) in block order.
 Catalog = Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[int, ...]]
@@ -147,6 +155,9 @@ class ShardTelemetryWriter:
         self._catalog: Optional[Catalog] = None
         self.catalog_version = 0
         self.ticks = 0
+        #: Seqlock counter — survives segment growth (a fresh segment
+        #: starts at the writer's current even value, never back at 0).
+        self._seq = 0
 
     # -- segment lifecycle ----------------------------------------------------
 
@@ -212,6 +223,9 @@ class ShardTelemetryWriter:
         self._ensure_capacity(len(node_ids), len(vm_rows))
         blocks = self._blocks
         assert blocks is not None
+        # Seqlock write-side: odd while the rows below are in flux.
+        self._seq += 1
+        blocks.header[H_SEQ] = self._seq
 
         catalog_key = (node_ids, vm_names, vm_slots)
         catalog: Optional[Catalog] = None
@@ -281,6 +295,9 @@ class ShardTelemetryWriter:
         header[H_TICKS] = self.ticks
         # Version last: a reader that sees the new version sees the rows.
         header[H_CATALOG_VERSION] = self.catalog_version
+        # Seqlock release: back to even — the published tick is stable.
+        self._seq += 1
+        header[H_SEQ] = self._seq
         return self._shm.name, self.catalog_version, catalog  # type: ignore[union-attr]
 
 
@@ -296,6 +313,10 @@ class ShardTelemetryReader:
         self.node_ids: Tuple[str, ...] = ()
         self.vm_names: Tuple[str, ...] = ()
         self.vm_slots: Tuple[int, ...] = ()
+        #: Cumulative seqlock retries across ``stable_snapshot`` calls
+        #: (zero on the barrier-tick path; the torn-read tests assert
+        #: the retry loop actually spins when a publish is in flight).
+        self.snapshot_retries = 0
 
     def update(
         self, segment_name: str, catalog_version: int,
@@ -347,6 +368,49 @@ class ShardTelemetryReader:
     @property
     def attached(self) -> bool:
         return self._shm is not None
+
+    @property
+    def seq(self) -> int:
+        """Current seqlock value (odd: a publish is in flight)."""
+        return int(self._blocks.header[H_SEQ])  # type: ignore[union-attr]
+
+    def stable_snapshot(
+        self,
+        *,
+        max_retries: int = 64,
+        on_retry=None,
+    ) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """A torn-read-free copy of this shard's published tick.
+
+        Returns ``(node_ids, nodes, backend, invariants)`` where the
+        arrays are *copies* taken between two equal even reads of the
+        sequence counter — the seqlock read side.  If the writer is
+        mid-``publish`` (odd counter, or the counter moved while we
+        copied) the read retries, calling ``on_retry(attempt)`` first
+        when given (the torn-read tests use that hook to complete the
+        in-flight publish deterministically).  Raises ``RuntimeError``
+        after ``max_retries`` failed attempts.
+        """
+        blocks = self._blocks
+        assert blocks is not None, "reader not attached"
+        header = blocks.header
+        for attempt in range(max_retries):
+            begin = int(header[H_SEQ])
+            if begin % 2 == 0:
+                n_nodes = int(header[H_N_NODES])
+                nodes = blocks.nodes[:n_nodes].copy()
+                backend = blocks.backend.copy()
+                invariants = blocks.invariants.copy()
+                if int(header[H_SEQ]) == begin:
+                    self.snapshot_retries += attempt
+                    return self.node_ids[:n_nodes], nodes, backend, invariants
+            if on_retry is not None:
+                on_retry(attempt)
+        self.snapshot_retries += max_retries
+        raise RuntimeError(
+            f"shard telemetry snapshot torn {max_retries} times in a row "
+            "(writer publishing continuously?)"
+        )
 
     @property
     def t(self) -> float:

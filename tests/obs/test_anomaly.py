@@ -1,0 +1,77 @@
+"""EWMA/z-score detectors: warmup, hysteresis, determinism."""
+
+import pytest
+
+from repro.obs.anomaly import AnomalyConfig, EwmaDetector
+
+
+def feed(detector, values):
+    return [detector.observe(v) for v in values]
+
+
+class TestDetection:
+    def test_spike_fires_after_warmup(self):
+        d = EwmaDetector("x", AnomalyConfig(warmup=5))
+        out = feed(d, [1.0] * 10)
+        assert out == [None] * 10
+        assert d.observe(1000.0) == "firing"
+        assert d.firing
+
+    def test_no_fire_during_warmup(self):
+        d = EwmaDetector("x", AnomalyConfig(warmup=8))
+        assert feed(d, [1.0, 1.0, 1.0, 500.0]) == [None] * 4
+
+    def test_hysteresis_resolves_only_below_band(self):
+        d = EwmaDetector("x", AnomalyConfig(warmup=4, z_fire=6.0,
+                                            z_resolve=2.0))
+        feed(d, [10.0, 10.0, 10.0, 10.0, 10.0])
+        assert d.observe(10000.0) == "firing"
+        # Still near the (dragged) mean boundary: stays firing until
+        # |z| drops inside the resolve band.
+        transitions = feed(d, [10.0] * 20)
+        states = [t for t in transitions if t is not None]
+        assert states == ["resolved"]
+        assert not d.firing
+
+    def test_first_observation_seeds_mean(self):
+        d = EwmaDetector("x")
+        assert d.observe(42.0) is None
+        assert d.mean == 42.0
+        assert d.var == 0.0
+
+    def test_constant_stream_never_divides_by_zero(self):
+        d = EwmaDetector("x", AnomalyConfig(warmup=3))
+        assert feed(d, [5.0] * 50) == [None] * 50
+
+
+class TestDeterminism:
+    def test_same_stream_same_transitions(self):
+        stream = [1.0, 1.2, 0.8, 1.1] * 10 + [50.0] + [1.0] * 10
+        a = EwmaDetector("x", AnomalyConfig(warmup=6))
+        b = EwmaDetector("x", AnomalyConfig(warmup=6))
+        assert feed(a, stream) == feed(b, stream)
+        assert a.mean == b.mean and a.var == b.var and a.last_z == b.last_z
+
+    def test_seed_picks_deterministic_floor(self):
+        a = EwmaDetector("x", AnomalyConfig(seed=1))
+        b = EwmaDetector("x", AnomalyConfig(seed=1))
+        c = EwmaDetector("x", AnomalyConfig(seed=2))
+        assert a._floor == b._floor
+        assert a._floor != c._floor
+        assert 1e-12 <= a._floor <= 1e-9
+
+
+class TestConfigValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            AnomalyConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            AnomalyConfig(alpha=1.5)
+
+    def test_hysteresis_ordering(self):
+        with pytest.raises(ValueError):
+            AnomalyConfig(z_fire=2.0, z_resolve=2.0)
+
+    def test_warmup_floor(self):
+        with pytest.raises(ValueError):
+            AnomalyConfig(warmup=1)

@@ -12,6 +12,7 @@ import pytest
 
 from repro.sim.node_manager import NodeManager, Shard, ShardedNodeManager
 from repro.sim.shard_telemetry import (
+    H_SEQ,
     NODE_FIELDS,
     VM_FIELDS,
     ShardTelemetryReader,
@@ -234,6 +235,136 @@ class TestWriterInProcess:
         finally:
             reader.close()
             writer.close(unlink=True)
+
+
+class TestSeqlockConsistency:
+    """The seqlock read side under a publish in flight, and close() →
+    re-attach against a live writer (the SLO plane's scrape path)."""
+
+    @staticmethod
+    def _publish_once(hosts, manager, writer, reader, t):
+        for node, _, _ in hosts.values():
+            node.step(1.0)
+        manager.tick(t)
+        reader.update(*writer.publish(manager, t))
+
+    def test_torn_read_retries_until_publish_completes(self):
+        hosts = _build_group(["n0", "n1"], 3)
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=False
+        )
+        writer = ShardTelemetryWriter()
+        reader = ShardTelemetryReader()
+        try:
+            self._publish_once(hosts, manager, writer, reader, 1.0)
+            assert reader.seq % 2 == 0
+            assert reader.snapshot_retries == 0
+
+            # Simulate a writer caught mid-publish: odd counter, rows
+            # in flux.  The reader must spin, not return torn rows.
+            writer._blocks.header[H_SEQ] = reader.seq + 1
+            assert reader.seq % 2 == 1
+
+            completed = []
+
+            def finish_publish(attempt):
+                # First retry: complete the in-flight publish so the
+                # counter lands even with tick-2 rows fully written.
+                if not completed:
+                    completed.append(attempt)
+                    for node, _, _ in hosts.values():
+                        node.step(1.0)
+                    manager.tick(2.0)
+                    writer.publish(manager, 2.0)
+
+            node_ids, nodes, backend, invariants = reader.stable_snapshot(
+                on_retry=finish_publish
+            )
+            assert completed == [0]
+            assert reader.snapshot_retries >= 1
+            assert reader.seq % 2 == 0
+            # The snapshot is the *completed* tick-2 publish, whole.
+            assert node_ids == ("n0", "n1")
+            for slot, node_id in enumerate(node_ids):
+                ctrl = hosts[node_id][2]
+                assert nodes[slot, GUARANTEE] == sum(ctrl._vm_vfreq.values())
+                assert nodes[slot, NUM_VMS] == len(ctrl._vm_vfreq)
+            assert reader.t == 2.0
+            assert backend.sum() > 0
+            assert len(invariants) > 0
+        finally:
+            reader.close()
+            writer.close(unlink=True)
+            manager.close()
+
+    def test_snapshot_gives_up_after_max_retries(self):
+        hosts = _build_group(["n0"], 3)
+        manager = NodeManager({"n0": hosts["n0"][2]}, parallel=False)
+        writer = ShardTelemetryWriter()
+        reader = ShardTelemetryReader()
+        try:
+            self._publish_once(hosts, manager, writer, reader, 1.0)
+            header = writer._blocks.header
+            stuck = reader.seq + 1
+            header[H_SEQ] = stuck  # odd forever: writer wedged mid-publish
+            attempts = []
+            with pytest.raises(RuntimeError, match="torn 5 times"):
+                reader.stable_snapshot(max_retries=5,
+                                       on_retry=attempts.append)
+            assert attempts == [0, 1, 2, 3, 4]
+            assert reader.snapshot_retries == 5
+            header[H_SEQ] = stuck + 1  # unwedge; snapshot works again
+            assert reader.stable_snapshot()[0] == ("n0",)
+        finally:
+            reader.close()
+            writer.close(unlink=True)
+            manager.close()
+
+    def test_close_then_reattach_against_live_writer(self):
+        hosts = _build_group(["n0", "n1"], 3)
+        manager = NodeManager(
+            {nid: ctrl for nid, (_, _, ctrl) in hosts.items()}, parallel=False
+        )
+        writer = ShardTelemetryWriter()
+        reader = ShardTelemetryReader()
+        try:
+            self._publish_once(hosts, manager, writer, reader, 1.0)
+            assert reader.attached
+            catalog_before = (reader.node_ids, reader.vm_names,
+                              reader.vm_slots)
+
+            reader.close()
+            assert not reader.attached
+            # The catalog survives detachment — only the mapping drops.
+            assert (reader.node_ids, reader.vm_names,
+                    reader.vm_slots) == catalog_before
+
+            # Writer keeps publishing while we're detached (steady
+            # state: same segment, no catalog payload).
+            for node, _, _ in hosts.values():
+                node.step(1.0)
+            manager.tick(2.0)
+            name, version, catalog = writer.publish(manager, 2.0)
+            assert catalog is None
+
+            # Re-attach with the steady-state payload alone: the reader
+            # re-maps the segment and serves tick 2 with the retained
+            # catalog.
+            reader.update(name, version, catalog)
+            assert reader.attached
+            assert reader.t == 2.0
+            node_ids, nodes, _, _ = reader.stable_snapshot()
+            assert node_ids == ("n0", "n1")
+            assert nodes[0, GUARANTEE] == \
+                sum(hosts["n0"][2]._vm_vfreq.values())
+            # And close() is idempotent on an already-closed reader.
+            reader.close()
+            reader.close()
+            assert not reader.attached
+        finally:
+            reader.close()
+            writer.close(unlink=True)
+            manager.close()
 
 
 class TestCloseStartRoundTrip:

@@ -182,6 +182,19 @@ EXPECTED = {
         "get_logger",
         "explain",
         "recompute_allocation",
+        # SLO plane: time series, burn-rate alerting, anomaly detection
+        "Series",
+        "SeriesStore",
+        "SLOConfig",
+        "SLOPlane",
+        "SLOSpec",
+        "BurnRateRule",
+        "default_slos",
+        "AlertLedger",
+        "load_alerts_jsonl",
+        "explain_alert",
+        "AnomalyConfig",
+        "EwmaDetector",
     },
     "repro.checking": {
         "INVARIANTS",
